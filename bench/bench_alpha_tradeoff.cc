@@ -1,0 +1,87 @@
+// Experiment THM-7.3/7.4 + FIG-3: the α-labeling machinery itself.
+//  * Theorem 7.3/7.4: amortized update work O((ω + α) log_α n) — the sweep
+//    prints the measured per-update work as a function of α and ω and the
+//    predicted optimum α* = min(2 + ω/r, ω).
+//  * Figure 3: structural bounds under adversarial (sorted-order, left-
+//    spine) insertions — the critical-node count per path stays O(log_α n)
+//    and the path length O(α log_α n) (Corollaries 7.1/7.2).
+#include <cmath>
+#include <cstdio>
+
+#include "bench/common.h"
+#include "src/augtree/interval_tree.h"
+
+namespace weg {
+namespace {
+
+void BM_UpdateWorkVsAlphaOmega(benchmark::State& state) {
+  uint64_t alpha = uint64_t(state.range(0));
+  size_t n = 1 << 15;
+  asym::Counts upd;
+  for (auto _ : state) {
+    auto base = bench::uniform_intervals(n, 0x41);
+    augtree::DynamicIntervalTree t(alpha);
+    for (auto& iv : base) t.insert(iv);
+    primitives::Rng rng(0x42);
+    asym::Region r;
+    for (uint32_t i = 0; i < 3000; ++i) {
+      double a = rng.next_double();
+      t.insert(augtree::Interval{a, a + 0.05, uint32_t(n) + i});
+    }
+    upd = r.delta();
+  }
+  bench::report_cost(state, upd, 3000.0);
+}
+
+// FIG-3: adversarial sorted-order insertions (every insert extends the left
+// spine); measure the path statistics the lemmas bound.
+void BM_Fig3AdversarialSpine(benchmark::State& state) {
+  uint64_t alpha = uint64_t(state.range(0));
+  size_t n = 20000;
+  size_t height = 0, crit = 0, rebuilds = 0;
+  for (auto _ : state) {
+    augtree::DynamicIntervalTree t(alpha);
+    for (uint32_t i = 0; i < n; ++i) {
+      // Decreasing left endpoints: the new endpoint keys always enter at the
+      // leftmost leaf, the Figure 3 scenario.
+      double a = 1.0 - double(i) / double(n + 1);
+      t.insert(augtree::Interval{a, a + 0.5 / double(n), i});
+    }
+    height = t.height();
+    crit = t.critical_on_path_max();
+    rebuilds = t.rebuilds();
+  }
+  double la = std::log(double(2 * n)) / std::log(double(alpha));
+  state.counters["height"] = double(height);
+  state.counters["crit_per_path"] = double(crit);
+  state.counters["bound_4a2_logan"] = double(4 * alpha + 2) * la;
+  state.counters["rebuilds"] = double(rebuilds);
+}
+
+BENCHMARK(BM_UpdateWorkVsAlphaOmega)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Fig3AdversarialSpine)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace weg
+
+int main(int argc, char** argv) {
+  weg::bench::banner(
+      "THM-7.3/7.4 + FIG-3  |  alpha-labeling trade-off and invariants",
+      "Claims: per-update writes fall ~1/log(alpha) and reads rise ~alpha,\n"
+      "so work_w1 favors small alpha and work_w40 favors larger alpha\n"
+      "(optimum near alpha* = min(2 + omega/r, omega)); under adversarial\n"
+      "left-spine insertion the measured height stays below the\n"
+      "(4*alpha+2)*log_alpha(n) bound of Corollaries 7.1/7.2.");
+  // Print the predicted optima table for reference.
+  std::printf("predicted alpha* = min(2 + omega/r, omega):\n");
+  for (double omega : {5.0, 10.0, 40.0}) {
+    std::printf("  omega=%4.0f:", omega);
+    for (double rr : {0.1, 1.0, 10.0}) {
+      std::printf("  r=%-4g -> %4.1f", rr, std::min(2 + omega / rr, omega));
+    }
+    std::printf("\n");
+  }
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

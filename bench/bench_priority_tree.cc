@@ -1,0 +1,64 @@
+// Experiment T1-priority (Table 1, priority search tree rows): the α
+// trade-off for dynamic priority search trees under mixed insert / 3-sided
+// query workloads.
+#include "bench/common.h"
+#include "src/augtree/priority_tree.h"
+
+namespace weg {
+namespace {
+
+void BM_PriorityMix(benchmark::State& state) {
+  uint64_t alpha = uint64_t(state.range(0));
+  double update_frac = double(state.range(1)) / 100.0;
+  size_t n = 1 << 15, ops = 4000;
+  asym::Counts upd, qry;
+  for (auto _ : state) {
+    auto base = bench::uniform_ppoints(n, 0x35);
+    augtree::DynamicPriorityTree t(alpha);
+    for (auto& p : base) t.insert(p);
+    primitives::Rng rng(0x36);
+    uint32_t next_id = uint32_t(n);
+    size_t k = 0;
+    upd = asym::Counts{};
+    qry = asym::Counts{};
+    for (size_t op = 0; op < ops; ++op) {
+      if (rng.next_double() < update_frac) {
+        asym::Region r;
+        t.insert(augtree::PPoint{rng.next_double(), rng.next_double(),
+                                 next_id++});
+        upd = upd + r.delta();
+      } else {
+        asym::Region r;
+        double xl = rng.next_double() * 0.8;
+        k += t.query_count(xl, xl + 0.1, rng.next_double());
+        qry = qry + r.delta();
+      }
+    }
+    benchmark::DoNotOptimize(k);
+  }
+  asym::Counts total = upd + qry;
+  bench::report_cost(state, total, 4000.0);
+  state.counters["upd_writes"] =
+      double(upd.writes) / (4000.0 * update_frac + 1);
+  state.counters["upd_reads"] = double(upd.reads) / (4000.0 * update_frac + 1);
+}
+
+BENCHMARK(BM_PriorityMix)
+    ->ArgsProduct({{2, 4, 8, 16, 32}, {10, 50, 90}})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace weg
+
+int main(int argc, char** argv) {
+  weg::bench::banner(
+      "T1-priority  |  dynamic priority search tree alpha trade-off (Table 1)",
+      "Counters are per operation (mixed inserts and 3-sided query counts\n"
+      "over n = 2^15 points). Claims: update writes shrink with alpha\n"
+      "(O((omega+alpha) log_alpha n) update bound), reads grow with alpha;\n"
+      "work_w10/work_w40 expose the omega-dependent optimum.");
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Shared benchmark helpers: workload generators and asymmetric-cost
+// reporting. Every bench binary prints which paper artifact (table/figure/
+// theorem) it regenerates, then reports google-benchmark rows whose custom
+// counters carry the measured large-memory reads/writes and the Asymmetric
+// NP work at several write costs ω (work = reads + ω * writes).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/augtree/interval.h"
+#include "src/augtree/priority_tree.h"
+#include "src/geom/point.h"
+#include "src/primitives/random.h"
+
+namespace weg::bench {
+
+inline void report_cost(benchmark::State& state, const asym::Counts& c,
+                        double per = 1.0) {
+  state.counters["reads"] = static_cast<double>(c.reads) / per;
+  state.counters["writes"] = static_cast<double>(c.writes) / per;
+  state.counters["work_w1"] = c.work(1) / per;
+  state.counters["work_w10"] = c.work(10) / per;
+  state.counters["work_w40"] = c.work(40) / per;
+}
+
+inline std::vector<geom::Point2> uniform_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> pts(n);
+  for (auto& p : pts) {
+    p[0] = rng.next_double();
+    p[1] = rng.next_double();
+  }
+  return pts;
+}
+
+inline std::vector<augtree::PPoint> uniform_ppoints(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<augtree::PPoint> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts[i] = augtree::PPoint{rng.next_double(), rng.next_double(),
+                             static_cast<uint32_t>(i)};
+  }
+  return pts;
+}
+
+inline std::vector<augtree::Interval> uniform_intervals(size_t n,
+                                                        uint64_t seed,
+                                                        double max_len = 0.1) {
+  primitives::Rng rng(seed);
+  std::vector<augtree::Interval> ivs(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.next_double();
+    ivs[i] = augtree::Interval{a, a + rng.next_double() * max_len,
+                               static_cast<uint32_t>(i)};
+  }
+  return ivs;
+}
+
+inline void banner(const char* experiment, const char* claim) {
+  std::printf("\n=== %s ===\n%s\n\n", experiment, claim);
+}
+
+}  // namespace weg::bench

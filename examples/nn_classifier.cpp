@@ -1,0 +1,113 @@
+// k-NN classification on synthetic Gaussian clusters using the p-batched
+// k-d tree (Section 6): build the index write-efficiently, classify test
+// points with k-NN majority vote, and report accuracy plus the query-cost
+// statistics the paper's ANN analysis is about.
+//
+//   ./examples/nn_classifier [train_n] [test_n]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/kdtree/pbatched.h"
+#include "src/primitives/random.h"
+
+using namespace weg;
+
+namespace {
+
+// Box-Muller standard normal.
+double gaussian(primitives::Rng& rng) {
+  double u1 = rng.next_double() + 1e-12, u2 = rng.next_double();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+constexpr int kClasses = 4;
+const double kCenters[kClasses][2] = {
+    {0.25, 0.25}, {0.75, 0.25}, {0.25, 0.75}, {0.75, 0.75}};
+
+geom::Point2 sample(primitives::Rng& rng, int cls, double sigma) {
+  geom::Point2 p;
+  p[0] = kCenters[cls][0] + gaussian(rng) * sigma;
+  p[1] = kCenters[cls][1] + gaussian(rng) * sigma;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t train_n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200000;
+  size_t test_n = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2000;
+  double sigma = 0.12;  // clusters overlap: the task is nontrivial
+  primitives::Rng rng(99);
+
+  std::vector<geom::Point2> train(train_n);
+  std::vector<int> labels(train_n);
+  for (size_t i = 0; i < train_n; ++i) {
+    labels[i] = int(rng.next_bounded(kClasses));
+    train[i] = sample(rng, labels[i], sigma);
+  }
+
+  kdtree::BuildStats bs;
+  auto index = kdtree::PBatchedBuilder<2>::build(train, 0, 8, &bs);
+  std::printf("index: %zu points, height %zu, %.1f writes/point "
+              "(p-batched, Theorem 6.1)\n",
+              train_n, bs.height, double(bs.cost.writes) / double(train_n));
+
+  // The tree reorders points; recover labels by position lookup.
+  // (Points are continuous doubles: exact matches identify originals.)
+  std::vector<int> tree_labels(train_n);
+  {
+    // Build a map via sorted order of (x, y) - both arrays hold the same
+    // multiset, so sort indices of each by coordinates and align.
+    auto order_of = [](const std::vector<geom::Point2>& pts) {
+      std::vector<uint32_t> idx(pts.size());
+      for (uint32_t i = 0; i < pts.size(); ++i) idx[i] = i;
+      std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+        return pts[a][0] < pts[b][0] ||
+               (pts[a][0] == pts[b][0] && pts[a][1] < pts[b][1]);
+      });
+      return idx;
+    };
+    auto oi = order_of(train), ot = order_of(index.points());
+    for (size_t i = 0; i < train_n; ++i) tree_labels[ot[i]] = labels[oi[i]];
+  }
+
+  size_t correct = 0;
+  kdtree::QueryStats qs;
+  const size_t k = 9;
+  for (size_t t = 0; t < test_n; ++t) {
+    int cls = int(rng.next_bounded(kClasses));
+    auto q = sample(rng, cls, sigma);
+    auto nn = index.knn(q, k, &qs);
+    int votes[kClasses] = {0, 0, 0, 0};
+    for (size_t idx : nn) votes[tree_labels[idx]]++;
+    int best = 0;
+    for (int c = 1; c < kClasses; ++c) {
+      if (votes[c] > votes[best]) best = c;
+    }
+    correct += (best == cls) ? 1 : 0;
+  }
+  std::printf("k-NN (k=%zu): accuracy %.1f%% on %zu test points\n", k,
+              100.0 * double(correct) / double(test_n), test_n);
+  std::printf("avg query cost: %.1f nodes visited, %.1f points scanned\n",
+              double(qs.nodes_visited) / double(test_n),
+              double(qs.points_scanned) / double(test_n));
+
+  // ANN speed/quality trade-off.
+  for (double eps : {0.0, 0.5, 2.0}) {
+    kdtree::QueryStats aq;
+    size_t agree = 0;
+    primitives::Rng arng(7);
+    for (size_t t = 0; t < 500; ++t) {
+      auto q = sample(arng, int(arng.next_bounded(kClasses)), sigma);
+      size_t exact = index.ann(q, 0.0);
+      size_t approx = index.ann(q, eps, &aq);
+      agree += (tree_labels[exact] == tree_labels[approx]) ? 1 : 0;
+    }
+    std::printf("ANN eps=%.1f: %.1f nodes/query, label agreement with exact "
+                "NN %.1f%%\n",
+                eps, double(aq.nodes_visited) / 500.0,
+                100.0 * double(agree) / 500.0);
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Instrumented array that lives in the simulated large asymmetric memory.
+// Element reads/writes are counted through asym::count_read/count_write.
+// Access is funneled through get()/set() (plus a counted reference proxy for
+// operator[]) so the instrumentation points are explicit in algorithm code.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "src/asym/counters.h"
+
+namespace weg::asym {
+
+template <typename T>
+class Array {
+ public:
+  Array() = default;
+  explicit Array(size_t n) : data_(n) {}
+  Array(size_t n, const T& init) : data_(n, init) {
+    // Initialization writes n values to large memory.
+    count_write(n);
+  }
+
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  // Counted element access.
+  const T& get(size_t i) const {
+    assert(i < data_.size());
+    count_read();
+    return data_[i];
+  }
+  void set(size_t i, T v) {
+    assert(i < data_.size());
+    count_write();
+    data_[i] = std::move(v);
+  }
+
+  // Uncounted access, for verification/test code that inspects results
+  // without charging the algorithm.
+  const T& peek(size_t i) const { return data_[i]; }
+  T& raw(size_t i) { return data_[i]; }
+  const std::vector<T>& vec() const { return data_; }
+  std::vector<T>& vec() { return data_; }
+
+  void resize(size_t n) { data_.resize(n); }
+  void push_back_counted(T v) {
+    count_write();
+    data_.push_back(std::move(v));
+  }
+
+ private:
+  std::vector<T> data_;
+};
+
+}  // namespace weg::asym

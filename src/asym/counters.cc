@@ -1,0 +1,52 @@
+#include "src/asym/counters.h"
+
+#include <mutex>
+#include <vector>
+
+namespace weg::asym {
+namespace detail {
+
+namespace {
+
+std::mutex registry_mu;
+std::vector<ThreadCounter*>& registry() {
+  static std::vector<ThreadCounter*> r;
+  return r;
+}
+
+}  // namespace
+
+ThreadCounter& local_counter() {
+  // Registered thread-locals outlive any measurement because threads are
+  // owned by the process-lifetime scheduler singleton. Counter storage leaks
+  // intentionally at thread exit to keep aggregation race-free.
+  thread_local ThreadCounter* tc = [] {
+    auto* c = new ThreadCounter();
+    std::lock_guard<std::mutex> lk(registry_mu);
+    registry().push_back(c);
+    return c;
+  }();
+  return *tc;
+}
+
+}  // namespace detail
+
+Counts total() {
+  Counts t;
+  std::lock_guard<std::mutex> lk(detail::registry_mu);
+  for (auto* c : detail::registry()) {
+    t.reads += c->reads;
+    t.writes += c->writes;
+  }
+  return t;
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lk(detail::registry_mu);
+  for (auto* c : detail::registry()) {
+    c->reads = 0;
+    c->writes = 0;
+  }
+}
+
+}  // namespace weg::asym

@@ -1,0 +1,47 @@
+// α-labeling (Section 7.3.1): a node is *critical* iff for some integer
+// i >= 0 its subtree weight w (nodes + 1) satisfies
+//    (1) 2α^i <= w <= 4α^i - 2, or
+//    (2) w = 2α^i - 1 and its sibling's weight is exactly 2α^i,
+// plus the tree root, which is always a virtual critical node. Only critical
+// nodes maintain balance information, so an update writes O(log_α n) weights
+// instead of O(log n), at the cost of O(α log_α n) reads per root-leaf path
+// (Corollaries 7.1/7.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace weg::augtree {
+
+// True iff a node of weight w whose sibling has weight sw is critical for
+// parameter alpha (>= 2). Weights use the paper's convention: subtree node
+// count + 1, so a leaf has weight 2.
+inline bool is_critical_weight(uint64_t w, uint64_t sibling_w,
+                               uint64_t alpha) {
+  // Find the band containing w: powers grow geometrically, O(log_α w) steps.
+  uint64_t pw = 1;  // alpha^i
+  while (true) {
+    uint64_t lo = 2 * pw;          // 2 α^i
+    uint64_t hi = 4 * pw - 2;      // 4 α^i - 2
+    if (w < lo - 1) return false;  // below this band and above the previous
+    if (w == lo - 1) return sibling_w == lo;  // rule (2)
+    if (w <= hi) return true;                 // rule (1)
+    if (pw > w) return false;
+    pw *= alpha;
+  }
+}
+
+// The §7.3.2 exception: after reconstructing a critical node of initial
+// weight s into a subtree of weight 2s, the new root must stay unmarked when
+// s <= 4α^i - 2 and 2α^(i+1) - 1 <= 2s for some i (marking it would violate
+// the Lemma 7.2 weight ratio with its critical parent).
+inline bool rebuild_root_exception(uint64_t s, uint64_t alpha) {
+  uint64_t pw = 1;
+  while (2 * pw - 1 <= 2 * s) {
+    if (s <= 4 * pw - 2 && 2 * pw * alpha - 1 <= 2 * s) return true;
+    pw *= alpha;
+  }
+  return false;
+}
+
+}  // namespace weg::augtree

@@ -1,0 +1,25 @@
+// Interval record shared by the augmented-tree structures (Section 7.1).
+#pragma once
+
+#include <cstdint>
+
+namespace weg::augtree {
+
+struct Interval {
+  double l = 0;
+  double r = 0;
+  uint32_t id = 0;
+
+  bool contains(double q) const { return l <= q && q <= r; }
+  friend bool operator==(const Interval& a, const Interval& b) {
+    return a.l == b.l && a.r == b.r && a.id == b.id;
+  }
+};
+
+struct AugStats {
+  // Filled by construction / update entry points via asym::Region.
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+}  // namespace weg::augtree

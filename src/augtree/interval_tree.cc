@@ -1,0 +1,833 @@
+#include "src/augtree/interval_tree.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+#include <unordered_map>
+
+#include "src/primitives/semisort.h"
+#include "src/primitives/sort.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg::augtree {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+// ---------------------------------------------------------------------------
+// StaticIntervalTree
+// ---------------------------------------------------------------------------
+
+size_t StaticIntervalTree::lca(size_t i, size_t j) {
+  if (i == j) return i;
+  if (i > j) std::swap(i, j);
+  int k = std::bit_width(i ^ j);
+  return ((j >> k) << k) | (size_t{1} << (k - 1));
+}
+
+int StaticIntervalTree::level_of(size_t pos) {
+  return std::countr_zero(pos);
+}
+
+namespace {
+
+// Shared skeleton setup: m_ = 2^h - 1 >= max(2n, 1).
+void setup_shape(size_t num_endpoints, size_t& m, int& h) {
+  h = 1;
+  m = 1;
+  while (m < num_endpoints) {
+    m = 2 * m + 1;
+    ++h;
+  }
+}
+
+}  // namespace
+
+StaticIntervalTree StaticIntervalTree::build_postsorted(
+    const std::vector<Interval>& ivs, Stats* stats) {
+  asym::Region region;
+  StaticIntervalTree t;
+  t.n_ = ivs.size();
+  size_t ne = 2 * t.n_;  // endpoints
+  setup_shape(std::max<size_t>(ne, 1), t.m_, t.height_);
+
+  // 1) Write-efficient sort of the endpoint values (Theorem 4.1 sorter).
+  // The monotone double->uint64 mapping happens in registers while reading
+  // the input, so it costs reads only.
+  std::vector<uint64_t> keys(ne);
+  for (size_t i = 0; i < t.n_; ++i) {
+    keys[2 * i] = sort::double_to_sortable(ivs[i].l);
+    keys[2 * i + 1] = sort::double_to_sortable(ivs[i].r);
+  }
+  asym::count_read(ne);
+  auto order = sort::incremental_sort_we_order(keys);
+
+  // 2) Ranks and sorted key array (O(n) reads/writes).
+  std::vector<uint32_t> rank(ne);
+  t.keys_.assign(t.m_, kInf);
+  asym::count_read(ne);
+  asym::count_write(2 * ne);
+  for (size_t i = 0; i < ne; ++i) {
+    rank[order[i]] = static_cast<uint32_t>(i);
+    t.keys_[i] = (order[i] & 1) ? ivs[order[i] / 2].r : ivs[order[i] / 2].l;
+  }
+
+  // 3) Assign each interval to its node with the O(1) implicit-tree LCA and
+  //    sort by (level, endpoint rank) per Section 7.2. Intervals in
+  //    endpoint-rank order are simply the left (resp. right) endpoints
+  //    filtered out of `order`, so one *stable* counting sort by level
+  //    (O(log n) buckets) replaces the general radix sort — the same
+  //    O(n log n)-key-range bound, with one pass.
+  struct Rec {
+    uint32_t pos;    // node (in-order, 1-based)
+    uint32_t depth;  // level from the root (counting-sort key)
+    uint32_t id;
+    double coord;
+  };
+  int h = t.height_;
+  auto build_csr = [&](bool left_side, std::vector<uint32_t>& offsets,
+                       std::vector<std::pair<double, uint32_t>>& out) {
+    // Intervals in endpoint-rank order.
+    std::vector<Rec> rs;
+    rs.reserve(t.n_);
+    asym::count_read(ne);
+    asym::count_write(t.n_);
+    for (size_t i = 0; i < ne; ++i) {
+      bool is_left = (order[i] & 1) == 0;
+      if (is_left != left_side) continue;
+      uint32_t iv = order[i] / 2;
+      size_t pos = lca(rank[2 * iv] + 1, rank[2 * iv + 1] + 1);
+      uint32_t depth = static_cast<uint32_t>((h - 1) - level_of(pos));
+      rs.push_back(Rec{static_cast<uint32_t>(pos), depth, iv,
+                       left_side ? ivs[iv].l : ivs[iv].r});
+    }
+    if (!left_side) std::reverse(rs.begin(), rs.end());  // descending r
+    // Stable counting sort by level keeps the endpoint-rank order within
+    // each level, making every node's intervals contiguous (Section 7.2).
+    primitives::counting_sort(rs, static_cast<size_t>(h),
+                              [](const Rec& r) { return r.depth; });
+    // Scatter into in-order-position-major CSR. Convention: node pos's run
+    // is [offsets[pos-1], offsets[pos]).
+    offsets.assign(t.m_ + 1, 0);
+    for (const Rec& r : rs) ++offsets[r.pos];
+    for (size_t p = 1; p <= t.m_; ++p) offsets[p] += offsets[p - 1];
+    out.resize(rs.size());
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    asym::count_read(rs.size());
+    asym::count_write(rs.size());
+    for (const Rec& r : rs) out[cursor[r.pos - 1]++] = {r.coord, r.id};
+  };
+
+  build_csr(true, t.node_left_off_, t.by_left_);
+  build_csr(false, t.node_right_off_, t.by_right_);
+
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = static_cast<size_t>(t.height_);
+  }
+  return t;
+}
+
+StaticIntervalTree StaticIntervalTree::build_classic(
+    const std::vector<Interval>& ivs, Stats* stats) {
+  asym::Region region;
+  StaticIntervalTree t;
+  t.n_ = ivs.size();
+  size_t ne = 2 * t.n_;
+  setup_shape(std::max<size_t>(ne, 1), t.m_, t.height_);
+
+  // Classic: sort the endpoints with the Θ(n log n)-write mergesort.
+  std::vector<double> endpoints(ne);
+  for (size_t i = 0; i < t.n_; ++i) {
+    endpoints[2 * i] = ivs[i].l;
+    endpoints[2 * i + 1] = ivs[i].r;
+  }
+  primitives::sort_inplace(endpoints);
+  t.keys_.assign(t.m_, kInf);
+  asym::count_write(ne);
+  std::copy(endpoints.begin(), endpoints.end(), t.keys_.begin());
+
+  // Recursive partition, copying the interval set at every level (this is
+  // the Θ(n log n)-write baseline).
+  std::vector<std::vector<std::pair<double, uint32_t>>> per_node_l(t.m_ + 1);
+  std::vector<std::vector<std::pair<double, uint32_t>>> per_node_r(t.m_ + 1);
+  std::vector<uint32_t> all(t.n_);
+  for (size_t i = 0; i < t.n_; ++i) all[i] = static_cast<uint32_t>(i);
+  auto rec = [&](auto&& self, size_t pos, std::vector<uint32_t> set) -> void {
+    if (set.empty()) return;
+    double key = t.keys_[pos - 1];
+    std::vector<uint32_t> left, right, here;
+    asym::count_read(set.size());
+    asym::count_write(set.size());  // the copy at this level
+    for (uint32_t id : set) {
+      if (ivs[id].r < key) {
+        left.push_back(id);
+      } else if (ivs[id].l > key) {
+        right.push_back(id);
+      } else {
+        here.push_back(id);
+      }
+    }
+    if (!here.empty()) {
+      auto& bl = per_node_l[pos];
+      auto& br = per_node_r[pos];
+      for (uint32_t id : here) {
+        bl.emplace_back(ivs[id].l, id);
+        br.emplace_back(ivs[id].r, id);
+      }
+      primitives::sort_inplace(bl);
+      primitives::sort_inplace(br);
+      std::reverse(br.begin(), br.end());
+      asym::count_write(2 * here.size());
+    }
+    int lvl = level_of(pos);
+    if (lvl > 0) {
+      size_t step = size_t{1} << (lvl - 1);
+      self(self, pos - step, std::move(left));
+      self(self, pos + step, std::move(right));
+    }
+  };
+  rec(rec, t.root_pos(), std::move(all));
+
+  // Flatten into CSR (counted as part of the construction's writes).
+  t.node_left_off_.assign(t.m_ + 1, 0);
+  t.node_right_off_.assign(t.m_ + 1, 0);
+  t.by_left_.reserve(t.n_);
+  t.by_right_.reserve(t.n_);
+  for (size_t p = 1; p <= t.m_; ++p) {
+    t.node_left_off_[p - 1] = static_cast<uint32_t>(t.by_left_.size());
+    t.node_right_off_[p - 1] = static_cast<uint32_t>(t.by_right_.size());
+    t.by_left_.insert(t.by_left_.end(), per_node_l[p].begin(),
+                      per_node_l[p].end());
+    t.by_right_.insert(t.by_right_.end(), per_node_r[p].begin(),
+                       per_node_r[p].end());
+  }
+  // Shift offsets: node_left_off_[p] is the start of node (p+1)'s run — fix
+  // to the usual CSR convention below.
+  t.node_left_off_.back() = static_cast<uint32_t>(t.by_left_.size());
+  t.node_right_off_.back() = static_cast<uint32_t>(t.by_right_.size());
+  asym::count_write(2 * t.n_);
+
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = static_cast<size_t>(t.height_);
+  }
+  return t;
+}
+
+std::vector<uint32_t> StaticIntervalTree::stab(double q) const {
+  std::vector<uint32_t> out;
+  if (n_ == 0) return out;
+  // Walk by key comparison; on an exact key match the walk forks into both
+  // subtrees (duplicate endpoint values can place storage nodes on either
+  // side). The fork is output-sensitive: every node whose key equals q is an
+  // endpoint of a *reported* interval, so visits stay O(log n + k).
+  auto walk = [&](auto&& self, size_t pos) -> void {
+    asym::count_read();
+    double key = keys_[pos - 1];
+    int lvl = level_of(pos);
+    size_t step = lvl > 0 ? (size_t{1} << (lvl - 1)) : 0;
+    size_t l0 = node_left_off_[pos - 1], l1 = node_left_off_[pos];
+    size_t r0 = node_right_off_[pos - 1], r1 = node_right_off_[pos];
+    if (q < key) {
+      for (size_t i = l0; i < l1; ++i) {
+        asym::count_read();
+        if (by_left_[i].first > q) break;
+        asym::count_write();
+        out.push_back(by_left_[i].second);
+      }
+      if (lvl > 0) self(self, pos - step);
+    } else if (q > key) {
+      for (size_t i = r0; i < r1; ++i) {
+        asym::count_read();
+        if (by_right_[i].first < q) break;
+        asym::count_write();
+        out.push_back(by_right_[i].second);
+      }
+      if (lvl > 0) self(self, pos + step);
+    } else {  // q == key: everything stored here contains q; fork
+      for (size_t i = l0; i < l1; ++i) {
+        asym::count_read();
+        asym::count_write();
+        out.push_back(by_left_[i].second);
+      }
+      if (lvl > 0) {
+        self(self, pos - step);
+        self(self, pos + step);
+      }
+    }
+  };
+  walk(walk, root_pos());
+  return out;
+}
+
+size_t StaticIntervalTree::stab_count(double q) const {
+  // Appendix A counting variant: binary search in each visited node's sorted
+  // run — O(log^2 n + duplicate fringe) reads, zero writes.
+  if (n_ == 0) return 0;
+  size_t total = 0;
+  auto walk = [&](auto&& self, size_t pos) -> void {
+    asym::count_read();
+    double key = keys_[pos - 1];
+    int lvl = level_of(pos);
+    size_t step = lvl > 0 ? (size_t{1} << (lvl - 1)) : 0;
+    size_t l0 = node_left_off_[pos - 1], l1 = node_left_off_[pos];
+    size_t r0 = node_right_off_[pos - 1], r1 = node_right_off_[pos];
+    if (q < key) {
+      auto it = std::upper_bound(by_left_.begin() + l0, by_left_.begin() + l1,
+                                 std::make_pair(q, UINT32_MAX));
+      asym::count_read(static_cast<uint64_t>(std::bit_width(l1 - l0 + 1)));
+      total += static_cast<size_t>(it - (by_left_.begin() + l0));
+      if (lvl > 0) self(self, pos - step);
+    } else if (q > key) {
+      // by_right_ is sorted descending by r.
+      auto it = std::lower_bound(
+          by_right_.begin() + r0, by_right_.begin() + r1, q,
+          [](const std::pair<double, uint32_t>& e, double v) {
+            return e.first >= v;
+          });
+      asym::count_read(static_cast<uint64_t>(std::bit_width(r1 - r0 + 1)));
+      total += static_cast<size_t>(it - (by_right_.begin() + r0));
+      if (lvl > 0) self(self, pos + step);
+    } else {
+      total += l1 - l0;
+      if (lvl > 0) {
+        self(self, pos - step);
+        self(self, pos + step);
+      }
+    }
+  };
+  walk(walk, root_pos());
+  return total;
+}
+
+bool StaticIntervalTree::validate(const std::vector<Interval>& ivs) const {
+  if (by_left_.size() != n_ || by_right_.size() != n_) return false;
+  // Every interval appears exactly once in each CSR and contains its node key;
+  // runs are sorted.
+  std::vector<int> seen(n_, 0);
+  for (size_t p = 1; p <= m_; ++p) {
+    size_t l0 = node_left_off_[p - 1], l1 = node_left_off_[p];
+    double key = keys_[p - 1];
+    for (size_t i = l0; i < l1; ++i) {
+      uint32_t id = by_left_[i].second;
+      ++seen[id];
+      if (!(ivs[id].l <= key && key <= ivs[id].r)) return false;
+      if (by_left_[i].first != ivs[id].l) return false;
+      if (i > l0 && by_left_[i - 1].first > by_left_[i].first) return false;
+    }
+    size_t r0 = node_right_off_[p - 1], r1 = node_right_off_[p];
+    for (size_t i = r0; i < r1; ++i) {
+      if (i > r0 && by_right_[i - 1].first < by_right_[i].first) return false;
+    }
+    if (l1 - l0 != r1 - r0) return false;
+  }
+  for (int s : seen) {
+    if (s != 1) return false;
+  }
+  return true;
+}
+
+
+
+// ---------------------------------------------------------------------------
+// DynamicIntervalTree (Section 7.3)
+// ---------------------------------------------------------------------------
+//
+// Subtree rebuilds keep dead endpoint keys (they are just keys); dead keys
+// are dropped only at whole-tree rebuilds, which guarantees every live
+// interval can always find a storage node (its own endpoints are live keys
+// somewhere in the tree).
+
+uint32_t DynamicIntervalTree::alloc() {
+  if (!free_.empty()) {
+    uint32_t v = free_.back();
+    free_.pop_back();
+    pool_[v] = Node{};
+    return v;
+  }
+  pool_.push_back(Node{});
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+uint32_t DynamicIntervalTree::insert_key(double key,
+                                         std::vector<uint32_t>& path) {
+  uint32_t nu = alloc();
+  pool_[nu].key = key;
+  pool_[nu].critical = true;  // every leaf is critical (weight 2)
+  pool_[nu].init_weight = 2;
+  // Pre-insertion weight: bump_weights_and_rebalance adds the new node's
+  // contribution along the whole path, including this fresh leaf.
+  pool_[nu].weight = 1;
+  ++node_count_;
+  ++root_weight_;
+  asym::count_write();  // attach the leaf
+  if (root_ == kNull) {
+    root_ = nu;
+    path.push_back(nu);
+    return nu;
+  }
+  uint32_t v = root_;
+  while (true) {
+    path.push_back(v);
+    asym::count_read();
+    // Equal keys descend right, matching erase's duplicate search.
+    if (key < pool_[v].key) {
+      if (pool_[v].left == kNull) {
+        pool_[v].left = nu;
+        break;
+      }
+      v = pool_[v].left;
+    } else {
+      if (pool_[v].right == kNull) {
+        pool_[v].right = nu;
+        break;
+      }
+      v = pool_[v].right;
+    }
+  }
+  path.push_back(nu);
+  return nu;
+}
+
+uint32_t DynamicIntervalTree::find_storage(double l, double r) const {
+  uint32_t v = root_;
+  while (v != kNull) {
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (r < nd.key) {
+      v = nd.left;
+    } else if (l > nd.key) {
+      v = nd.right;
+    } else {
+      return v;  // highest node with key in [l, r]
+    }
+  }
+  return kNull;
+}
+
+void DynamicIntervalTree::collect(uint32_t v,
+                                  std::vector<std::pair<double, bool>>& keys,
+                                  std::vector<Interval>& out_ivs) const {
+  if (v == kNull) return;
+  // Iterative in-order to tolerate deep secondary chains.
+  std::vector<std::pair<uint32_t, bool>> st{{v, false}};
+  while (!st.empty()) {
+    auto [u, expanded] = st.back();
+    st.pop_back();
+    const Node& nd = pool_[u];
+    if (expanded) {
+      asym::count_read();
+      keys.emplace_back(nd.key, nd.dead);
+      nd.by_l.for_each([&](double, uint32_t id) {
+        auto it = ivs_.find(id);
+        assert(it != ivs_.end());
+        out_ivs.push_back(it->second);
+      });
+      continue;
+    }
+    if (nd.right != kNull) st.push_back({nd.right, false});
+    st.push_back({u, true});
+    if (nd.left != kNull) st.push_back({nd.left, false});
+  }
+}
+
+uint32_t DynamicIntervalTree::build_balanced(
+    std::vector<std::pair<double, bool>>& keys, size_t lo, size_t hi) {
+  if (lo >= hi) return kNull;
+  size_t mid = lo + (hi - lo) / 2;
+  uint32_t v = alloc();
+  asym::count_write();
+  pool_[v].key = keys[mid].first;
+  pool_[v].dead = keys[mid].second;
+  uint32_t l = build_balanced(keys, lo, mid);
+  uint32_t r = build_balanced(keys, mid + 1, hi);
+  pool_[v].left = l;
+  pool_[v].right = r;
+  return v;
+}
+
+void DynamicIntervalTree::set_critical(uint32_t v, uint64_t w,
+                                       uint64_t sibling_w) {
+  Node& nd = pool_[v];
+  nd.critical = is_critical_weight(w, sibling_w, alpha_);
+  if (nd.critical) {
+    nd.init_weight = w;
+    nd.weight = w;
+    asym::count_write();
+  }
+}
+
+uint64_t DynamicIntervalTree::mark_rec(uint32_t v) {
+  if (v == kNull) return 1;
+  asym::count_read();
+  uint64_t wl = mark_rec(pool_[v].left);
+  uint64_t wr = mark_rec(pool_[v].right);
+  if (pool_[v].left != kNull) set_critical(pool_[v].left, wl, wr);
+  if (pool_[v].right != kNull) set_critical(pool_[v].right, wr, wl);
+  return wl + wr;
+}
+
+void DynamicIntervalTree::mark_criticals(uint32_t v) {
+  uint64_t w = mark_rec(v);
+  // Subtree root: sibling weight unknown here; rule (2) does not apply.
+  set_critical(v, w, 0);
+}
+
+void DynamicIntervalTree::rebuild(uint32_t v, uint32_t parent, int side,
+                                  uint64_t old_init) {
+  ++rebuilds_;
+  std::vector<std::pair<double, bool>> keys;
+  std::vector<Interval> collected;
+  collect(v, keys, collected);
+  bool whole_tree = (parent == kNull);
+  if (whole_tree) {
+    std::vector<std::pair<double, bool>> live;
+    live.reserve(keys.size());
+    for (auto& k : keys) {
+      if (!k.second) live.push_back(k);
+    }
+    dead_count_ = 0;
+    node_count_ = live.size();
+    keys.swap(live);
+  }
+  free_subtree(v);
+  uint32_t fresh = build_balanced(keys, 0, keys.size());
+  if (whole_tree) {
+    root_ = fresh;
+    root_weight_ = keys.size() + 1;
+    root_init_ = root_weight_;
+  } else {
+    asym::count_write();
+    if (side == 0) {
+      pool_[parent].left = fresh;
+    } else {
+      pool_[parent].right = fresh;
+    }
+  }
+  if (fresh != kNull) {
+    mark_criticals(fresh);
+    // §7.3.2 exception: keep the new root unmarked when marking it would
+    // violate the Lemma 7.2 ratio with its critical parent.
+    if (!whole_tree && rebuild_root_exception(old_init, alpha_) &&
+        pool_[fresh].critical) {
+      pool_[fresh].critical = false;
+    }
+  }
+  // Reassign the collected intervals within the new subtree (the key set is
+  // unchanged for subtree rebuilds, so a storage node always exists).
+  for (const Interval& iv : collected) {
+    uint32_t u = fresh;
+    while (true) {
+      assert(u != kNull);
+      asym::count_read();
+      Node& nd = pool_[u];
+      if (iv.r < nd.key) {
+        u = nd.left;
+      } else if (iv.l > nd.key) {
+        u = nd.right;
+      } else {
+        nd.by_l.insert(iv.l, iv.id);
+        nd.by_r.insert(iv.r, iv.id);
+        break;
+      }
+    }
+  }
+}
+
+void DynamicIntervalTree::bump_weights_and_rebalance(
+    const std::vector<uint32_t>& path) {
+  for (uint32_t v : path) {
+    if (pool_[v].critical) {
+      asym::count_write();
+      ++pool_[v].weight;
+    }
+  }
+  asym::count_write();  // virtual-root weight
+  if (root_weight_ >= 2 * root_init_ && node_count_ > 4) {
+    rebuild(root_, kNull, 0, root_init_);
+    return;
+  }
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint32_t v = path[i];
+    const Node& nd = pool_[v];
+    if (nd.critical && nd.weight >= 2 * nd.init_weight) {
+      uint32_t parent = (i == 0) ? root_ : path[i - 1];
+      if (i == 0) {
+        // path[0] is the root itself; treat as whole-tree rebuild.
+        rebuild(root_, kNull, 0, root_init_);
+      } else {
+        int side = pool_[parent].right == v ? 1 : 0;
+        rebuild(v, parent, side, nd.init_weight);
+      }
+      return;  // only the topmost violated critical node
+    }
+  }
+}
+
+void DynamicIntervalTree::free_subtree(uint32_t v) {
+  if (v == kNull) return;
+  std::vector<uint32_t> st{v};
+  while (!st.empty()) {
+    uint32_t u = st.back();
+    st.pop_back();
+    if (pool_[u].left != kNull) st.push_back(pool_[u].left);
+    if (pool_[u].right != kNull) st.push_back(pool_[u].right);
+    pool_[u] = Node{};
+    free_.push_back(u);
+  }
+}
+
+void DynamicIntervalTree::bulk_insert(const std::vector<Interval>& batch) {
+  if (batch.empty()) return;
+  // Register intervals and sort the 2m endpoint keys write-efficiently.
+  std::vector<double> keys;
+  keys.reserve(2 * batch.size());
+  for (const Interval& iv : batch) {
+    ivs_[iv.id] = iv;
+    asym::count_write();
+    keys.push_back(iv.l);
+    keys.push_back(iv.r);
+  }
+  {
+    std::vector<uint64_t> skeys(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      skeys[i] = sort::double_to_sortable(keys[i]);
+    }
+    asym::count_read(keys.size());
+    auto order = sort::incremental_sort_we_order_anyorder(skeys);
+    std::vector<double> sorted(keys.size());
+    asym::count_write(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) sorted[i] = keys[order[i]];
+    keys.swap(sorted);
+  }
+  node_count_ += keys.size();
+  root_weight_ += keys.size();
+
+  // Top-down merge (Section 7.3.5): at each critical node, if the incoming
+  // keys would overflow its doubling budget, flatten + merge + rebuild the
+  // union in one shot; otherwise bump its weight, split the key range at the
+  // node key (binary search; equal keys go right, matching single
+  // insertion), and recurse. Secondary nodes split without weight checks.
+  std::vector<Interval> displaced;
+  auto run = [&](auto&& self, uint32_t v, size_t lo, size_t hi) -> uint32_t {
+    if (lo >= hi) return v;
+    if (v == kNull) {
+      std::vector<std::pair<double, bool>> ks;
+      ks.reserve(hi - lo);
+      for (size_t i = lo; i < hi; ++i) ks.emplace_back(keys[i], false);
+      uint32_t fresh = build_balanced(ks, 0, ks.size());
+      if (fresh != kNull) mark_criticals(fresh);
+      return fresh;
+    }
+    asym::count_read();
+    Node& nd0 = pool_[v];
+    if (nd0.critical && nd0.weight + (hi - lo) >= 2 * nd0.init_weight) {
+      std::vector<std::pair<double, bool>> old_keys;
+      collect(v, old_keys, displaced);
+      free_subtree(v);
+      std::vector<std::pair<double, bool>> merged;
+      merged.reserve(old_keys.size() + (hi - lo));
+      size_t i = 0, j = lo;
+      asym::count_read(old_keys.size() + (hi - lo));
+      asym::count_write(old_keys.size() + (hi - lo));
+      while (i < old_keys.size() || j < hi) {
+        if (j >= hi || (i < old_keys.size() && old_keys[i].first <= keys[j])) {
+          merged.push_back(old_keys[i++]);
+        } else {
+          merged.emplace_back(keys[j++], false);
+        }
+      }
+      uint32_t fresh = build_balanced(merged, 0, merged.size());
+      if (fresh != kNull) mark_criticals(fresh);
+      ++rebuilds_;
+      return fresh;
+    }
+    size_t mid = static_cast<size_t>(
+        std::lower_bound(keys.begin() + static_cast<long>(lo),
+                         keys.begin() + static_cast<long>(hi), nd0.key) -
+        keys.begin());
+    asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
+    if (nd0.critical) {
+      asym::count_write();
+      nd0.weight += (hi - lo);
+    }
+    uint32_t l = self(self, pool_[v].left, lo, mid);
+    uint32_t r = self(self, pool_[v].right, mid, hi);
+    pool_[v].left = l;
+    pool_[v].right = r;
+    return v;
+  };
+  root_ = run(run, root_, 0, keys.size());
+
+  // Assign the batch intervals plus any displaced by rebuilds.
+  auto assign = [&](const Interval& iv) {
+    uint32_t v = find_storage(iv.l, iv.r);
+    assert(v != kNull);
+    pool_[v].by_l.insert(iv.l, iv.id);
+    pool_[v].by_r.insert(iv.r, iv.id);
+  };
+  for (const Interval& iv : batch) assign(iv);
+  for (const Interval& iv : displaced) assign(iv);
+  live_intervals_ += batch.size();
+  if (root_weight_ >= 2 * root_init_) {
+    rebuild(root_, kNull, 0, root_init_);
+  }
+}
+
+void DynamicIntervalTree::insert(const Interval& iv) {
+  ivs_[iv.id] = iv;
+  asym::count_write();
+  {
+    std::vector<uint32_t> path;
+    insert_key(iv.l, path);
+    bump_weights_and_rebalance(path);
+  }
+  {
+    std::vector<uint32_t> path;
+    insert_key(iv.r, path);
+    bump_weights_and_rebalance(path);
+  }
+  uint32_t v = find_storage(iv.l, iv.r);
+  assert(v != kNull);
+  pool_[v].by_l.insert(iv.l, iv.id);
+  pool_[v].by_r.insert(iv.r, iv.id);
+  ++live_intervals_;
+}
+
+bool DynamicIntervalTree::erase(const Interval& iv) {
+  auto it = ivs_.find(iv.id);
+  if (it == ivs_.end() || !(it->second == iv)) return false;
+  uint32_t v = find_storage(iv.l, iv.r);
+  if (v == kNull) return false;
+  if (!pool_[v].by_l.erase(iv.l, iv.id)) return false;
+  pool_[v].by_r.erase(iv.r, iv.id);
+  ivs_.erase(it);
+  --live_intervals_;
+  // Mark one endpoint node per endpoint dead (duplicates descend right).
+  auto mark_dead = [&](double key) {
+    uint32_t u = root_;
+    while (u != kNull) {
+      asym::count_read();
+      Node& nd = pool_[u];
+      if (key < nd.key) {
+        u = nd.left;
+      } else if (key > nd.key) {
+        u = nd.right;
+      } else if (nd.dead) {
+        u = nd.right;  // an equal, not-yet-dead key lies further right
+      } else {
+        asym::count_write();
+        nd.dead = true;
+        ++dead_count_;
+        return;
+      }
+    }
+  };
+  mark_dead(iv.l);
+  mark_dead(iv.r);
+  if (dead_count_ * 2 >= node_count_ && node_count_ > 16) {
+    rebuild(root_, kNull, 0, root_init_);
+  }
+  return true;
+}
+
+std::vector<uint32_t> DynamicIntervalTree::stab(double q) const {
+  std::vector<uint32_t> out;
+  uint32_t v = root_;
+  while (v != kNull) {
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (q < nd.key) {
+      nd.by_l.report_leq(q, [&](double, uint32_t id) {
+        asym::count_write();
+        out.push_back(id);
+      });
+      v = nd.left;
+    } else if (q > nd.key) {
+      nd.by_r.report_geq(q, [&](double, uint32_t id) {
+        asym::count_write();
+        out.push_back(id);
+      });
+      v = nd.right;
+    } else {
+      nd.by_l.for_each([&](double, uint32_t id) {
+        asym::count_write();
+        out.push_back(id);
+      });
+      v = nd.right;  // equal keys (with their own intervals) lie right
+    }
+  }
+  return out;
+}
+
+size_t DynamicIntervalTree::stab_count_scan(double q) const {
+  size_t total = 0;
+  uint32_t v = root_;
+  while (v != kNull) {
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (q < nd.key) {
+      nd.by_l.report_leq(q, [&](double, uint32_t) { ++total; });
+      v = nd.left;
+    } else if (q > nd.key) {
+      nd.by_r.report_geq(q, [&](double, uint32_t) { ++total; });
+      v = nd.right;
+    } else {
+      nd.by_l.for_each([&](double, uint32_t) { ++total; });
+      v = nd.right;
+    }
+  }
+  return total;
+}
+
+size_t DynamicIntervalTree::height() const {
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    if (v == kNull) return 0;
+    return 1 + std::max(self(self, pool_[v].left), self(self, pool_[v].right));
+  };
+  return rec(rec, root_);
+}
+
+size_t DynamicIntervalTree::critical_on_path_max() const {
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    if (v == kNull) return 0;
+    size_t below =
+        std::max(self(self, pool_[v].left), self(self, pool_[v].right));
+    return below + (pool_[v].critical ? 1 : 0);
+  };
+  return rec(rec, root_);
+}
+
+bool DynamicIntervalTree::validate() const {
+  if (root_ == kNull) return live_intervals_ == 0;
+  bool ok = true;
+  size_t stored = 0;
+  // BST order, treap invariants, intervals contain their node key, critical
+  // weights equal true subtree weights as tracked.
+  auto rec = [&](auto&& self, uint32_t v, double lo, double hi) -> uint64_t {
+    if (v == kNull) return 1;
+    const Node& nd = pool_[v];
+    if (!(nd.key >= lo && nd.key <= hi)) ok = false;
+    ok = ok && nd.by_l.validate() && nd.by_r.validate();
+    nd.by_l.for_each([&](double, uint32_t id) {
+      auto it = ivs_.find(id);
+      if (it == ivs_.end() || !it->second.contains(nd.key)) ok = false;
+      ++stored;
+    });
+    uint64_t w = self(self, nd.left, lo, nd.key) +
+                 self(self, nd.right, nd.key, hi);
+    if (nd.critical && nd.weight != w) ok = false;
+    return w;
+  };
+  uint64_t w = rec(rec, root_,
+                   -std::numeric_limits<double>::infinity(),
+                   std::numeric_limits<double>::infinity());
+  if (w != root_weight_) ok = false;
+  if (stored != live_intervals_) ok = false;
+  return ok;
+}
+
+}  // namespace weg::augtree

@@ -1,0 +1,155 @@
+// Interval trees for 1D stabbing queries (Sections 7.1-7.3).
+//
+// StaticIntervalTree — the perfectly balanced tree over the 2n sorted
+// endpoints (the de Berg et al. variant the paper uses). Two constructions:
+//   * build_classic: the textbook recursion that partitions and copies the
+//     interval set at every level — Θ(n log n) reads AND writes (baseline).
+//   * build_postsorted (Section 7.2, Theorem 7.1): sort the endpoints once
+//     with the write-efficient sorter, then assign every interval to its
+//     tree node with an O(1) LCA on the implicit perfect tree, radix sort
+//     intervals by (node level, endpoint rank), and carve the per-node
+//     sorted lists out of the result — O(n) writes after sorting.
+// Both produce identical query structure: a stabbing query walks the
+// endpoint tree and scans each visited node's interval list sorted by left
+// (resp. right) endpoint, O(log n + k) reads and O(k) output writes; the
+// counting variant (Appendix A) binary-searches instead and writes nothing.
+//
+// DynamicIntervalTree — reconstruction-based rebalancing with α-labeling
+// (Section 7.3): the outer endpoint tree maintains subtree weights only at
+// critical nodes; updates write O(log_α n) weights and O(1) expected inner-
+// treap links, and a critical node whose weight doubles is rebuilt
+// (Theorem 7.4: O((ω + α) log_α n) amortized work per update, query
+// O(ωk + α log_α n)). Deletions mark endpoint nodes dead; dead nodes are
+// dropped on subtree rebuilds and a whole-tree rebuild triggers once half
+// the endpoints are dead.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/augtree/alpha.h"
+#include "src/augtree/interval.h"
+#include "src/augtree/treap.h"
+
+namespace weg::augtree {
+
+class StaticIntervalTree {
+ public:
+  struct Stats {
+    asym::Counts cost;
+    size_t height = 0;
+  };
+
+  static StaticIntervalTree build_classic(const std::vector<Interval>& ivs,
+                                          Stats* stats = nullptr);
+  static StaticIntervalTree build_postsorted(const std::vector<Interval>& ivs,
+                                             Stats* stats = nullptr);
+
+  // All intervals containing q (ids), in no particular order. O(log n + k)
+  // reads, O(k) output writes.
+  std::vector<uint32_t> stab(double q) const;
+  // Counting variant (Appendix A): no output writes.
+  size_t stab_count(double q) const;
+
+  size_t size() const { return n_; }
+  bool validate(const std::vector<Interval>& ivs) const;
+
+ private:
+  friend class IntervalTreeTestPeer;
+
+  // Implicit perfect BST over m_ = 2^h - 1 slots; in-order position p
+  // (1-based) stores the endpoint of rank p-1 (+inf padding above 2n).
+  // LCA of positions i < j: k = bit_width(i ^ j),
+  //   lca = ((j >> k) << k) | (1 << (k-1)).
+  size_t root_pos() const { return (m_ + 1) / 2; }
+  static size_t lca(size_t i, size_t j);
+  static int level_of(size_t pos);  // trailing zeros: leaf = 0
+
+  size_t n_ = 0;       // number of intervals
+  size_t m_ = 0;       // implicit tree slots (2^h - 1 >= 2n)
+  int height_ = 0;     // h
+  std::vector<double> keys_;  // keys_[p-1] = endpoint of rank p-1
+  // CSR inner lists per node: by left endpoint ascending / right descending.
+  std::vector<uint32_t> node_left_off_, node_right_off_;  // size m_+1
+  std::vector<std::pair<double, uint32_t>> by_left_;   // (l, id)
+  std::vector<std::pair<double, uint32_t>> by_right_;  // (r, id)
+};
+
+class DynamicIntervalTree {
+ public:
+  explicit DynamicIntervalTree(uint64_t alpha = 2) : alpha_(alpha) {}
+
+  void insert(const Interval& iv);
+  // Erases by (l, r, id); returns false if absent.
+  bool erase(const Interval& iv);
+
+  // Bulk insertion (Section 7.3.5): sorts the batch, merges the 2m endpoint
+  // keys into the tree top-down — rebuilding any subtree the batch outgrows
+  // in one shot instead of piecemeal — then assigns the intervals. For
+  // m = Θ(n) this costs O(m) writes amortized versus O(m log_α n) for
+  // one-by-one insertion.
+  void bulk_insert(const std::vector<Interval>& ivs);
+
+  std::vector<uint32_t> stab(double q) const;
+  size_t stab_count_scan(double q) const;  // scan-based count (no writes)
+
+  size_t size() const { return live_intervals_; }
+  size_t num_nodes() const { return node_count_; }
+  size_t rebuilds() const { return rebuilds_; }
+  // Longest root-leaf path (bench hook for Corollary 7.2).
+  size_t height() const;
+  size_t critical_on_path_max() const;  // max critical nodes on any path
+  bool validate() const;
+
+ private:
+  static constexpr uint32_t kNull = UINT32_MAX;
+
+  struct Node {
+    double key = 0;
+    uint32_t left = kNull;
+    uint32_t right = kNull;
+    bool critical = false;
+    bool dead = false;  // endpoint of an erased interval
+    uint64_t init_weight = 0;  // critical only
+    uint64_t weight = 0;       // critical only; root always maintains it
+    Treap by_l;  // intervals stored here, keyed by left endpoint
+    Treap by_r;  // keyed by right endpoint
+  };
+
+  uint32_t alloc();
+  void free_subtree(uint32_t v);
+  // BST-inserts an endpoint key; appends the path root..new leaf.
+  uint32_t insert_key(double key, std::vector<uint32_t>& path);
+  // Storage node for [l, r]: highest node with l <= key <= r.
+  uint32_t find_storage(double l, double r) const;
+  void bump_weights_and_rebalance(const std::vector<uint32_t>& path);
+  // Rebuilds the subtree at v; parent == kNull rebuilds the whole tree
+  // (dropping dead keys); side selects the parent's child slot.
+  void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
+  uint32_t build_balanced(std::vector<std::pair<double, bool>>& keys,
+                          size_t lo, size_t hi);
+  // Post-order weight computation marking v's descendants critical per the
+  // α rule; returns the subtree weight. set_critical applies the rule to one
+  // node given its and its sibling's weight.
+  uint64_t mark_rec(uint32_t v);
+  void set_critical(uint32_t v, uint64_t w, uint64_t sibling_w);
+  void mark_criticals(uint32_t v);
+  void collect(uint32_t v, std::vector<std::pair<double, bool>>& keys,
+               std::vector<Interval>& ivs) const;
+
+  uint64_t alpha_;
+  std::unordered_map<uint32_t, Interval> ivs_;  // id -> interval (for rebuilds)
+  std::vector<Node> pool_;
+  std::vector<uint32_t> free_;
+  uint32_t root_ = kNull;
+  uint64_t node_count_ = 0;   // live skeleton nodes (incl. dead-marked)
+  uint64_t dead_count_ = 0;
+  uint64_t root_weight_ = 1;  // virtual critical root weight (= nodes + 1)
+  uint64_t root_init_ = 1;
+  size_t live_intervals_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace weg::augtree

@@ -1,0 +1,568 @@
+#include "src/augtree/priority_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/augtree/tournament.h"
+#include "src/primitives/sort.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg::augtree {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+bool px_less(const PPoint& a, const PPoint& b) {
+  return a.x < b.x || (a.x == b.x && a.id < b.id);
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StaticPriorityTree
+// ---------------------------------------------------------------------------
+
+StaticPriorityTree StaticPriorityTree::build_classic(
+    const std::vector<PPoint>& pts, Stats* stats) {
+  asym::Region region;
+  StaticPriorityTree t;
+  t.n_ = pts.size();
+  t.pool_.reserve(t.n_);
+  std::vector<PPoint> sorted = pts;
+  asym::count_read(pts.size());
+  primitives::sort_inplace(sorted, px_less);
+  // Recursive extract-max + median split, copying each half (the Θ(n log n)
+  // write baseline).
+  auto rec = [&](auto&& self, std::vector<PPoint> set) -> uint32_t {
+    if (set.empty()) return kNull;
+    asym::count_read(set.size());
+    size_t best = 0;
+    for (size_t i = 1; i < set.size(); ++i) {
+      if (set[i].y > set[best].y) best = i;
+    }
+    uint32_t id = static_cast<uint32_t>(t.pool_.size());
+    t.pool_.push_back(Node{});
+    t.pool_[id].pt = set[best];
+    asym::count_write();
+    set.erase(set.begin() + static_cast<long>(best));
+    if (set.empty()) {
+      t.pool_[id].split = t.pool_[id].pt.x;
+      return id;
+    }
+    size_t mid = (set.size() - 1) / 2;  // left gets positions [0, mid]
+    asym::count_read(set.size());
+    asym::count_write(set.size());  // the two copies
+    std::vector<PPoint> left(set.begin(), set.begin() + static_cast<long>(mid) + 1);
+    std::vector<PPoint> right(set.begin() + static_cast<long>(mid) + 1, set.end());
+    t.pool_[id].split = set[mid].x;
+    uint32_t l = self(self, std::move(left));
+    uint32_t r = self(self, std::move(right));
+    t.pool_[id].left = l;
+    t.pool_[id].right = r;
+    return id;
+  };
+  t.root_ = rec(rec, std::move(sorted));
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = t.height();
+    stats->smallmem_base_cases = 0;
+  }
+  return t;
+}
+
+StaticPriorityTree StaticPriorityTree::build_postsorted(
+    const std::vector<PPoint>& pts, Stats* stats) {
+  asym::Region region;
+  StaticPriorityTree t;
+  t.n_ = pts.size();
+  if (t.n_ == 0) {
+    if (stats) *stats = Stats{asym::Counts{}, 0, 0};
+    return t;
+  }
+  t.pool_.reserve(t.n_);
+
+  // Write-efficient sort by x (Theorem 4.1 sorter on the mapped doubles).
+  std::vector<uint64_t> keys(t.n_);
+  for (size_t i = 0; i < t.n_; ++i) keys[i] = sort::double_to_sortable(pts[i].x);
+  asym::count_read(t.n_);  // the monotone mapping happens in registers
+  auto order = sort::incremental_sort_we_order(keys);
+  std::vector<PPoint> sorted(t.n_);
+  asym::count_read(t.n_);
+  asym::count_write(t.n_);
+  for (size_t i = 0; i < t.n_; ++i) sorted[i] = pts[order[i]];
+  // Stabilize equal x by id (the WE sorter breaks key ties by input index).
+  // (Equal doubles map to equal keys; tie order does not matter here.)
+
+  std::vector<double> ys(t.n_);
+  for (size_t i = 0; i < t.n_; ++i) ys[i] = sorted[i].y;
+  TournamentTree tt(ys);
+
+  size_t base_cases = 0;
+
+  // Appendix A construction: carve the tree out of the sorted array using
+  // range-argmax / k-th-valid / scoped deletions on the tournament tree.
+  auto rec = [&](auto&& self, size_t lo, size_t hi, size_t nv) -> uint32_t {
+    if (nv == 0) return kNull;
+    size_t holes = (hi - lo) - nv;
+    if (nv == 1 || holes > nv) {
+      // Base case: load the valid points into the symmetric memory and
+      // finish the subtree there; only the reads of the range and the writes
+      // of the produced nodes touch the large memory.
+      ++base_cases;
+      asym::count_read(hi - lo);
+      std::vector<PPoint> local;
+      local.reserve(nv);
+      for (size_t i = lo; i < hi; ++i) {
+        if (tt.count_valid(i, i + 1)) local.push_back(sorted[i]);
+      }
+      for (size_t i = lo; i < hi; ++i) tt.erase_scoped(i, lo, hi);
+      // In-memory classic build; charge one write per created node.
+      auto build = [&](auto&& bself, size_t blo, size_t bhi) -> uint32_t {
+        if (blo >= bhi) return kNull;
+        size_t best = blo;
+        for (size_t i = blo + 1; i < bhi; ++i) {
+          if (local[i].y > local[best].y) best = i;
+        }
+        std::swap(local[blo], local[best]);
+        PPoint top = local[blo];
+        // Keep the rest sorted by x for the median split.
+        std::sort(local.begin() + static_cast<long>(blo) + 1,
+                  local.begin() + static_cast<long>(bhi), px_less);
+        uint32_t id = static_cast<uint32_t>(t.pool_.size());
+        t.pool_.push_back(Node{});
+        asym::count_write();
+        t.pool_[id].pt = top;
+        size_t rest = bhi - (blo + 1);
+        if (rest == 0) {
+          t.pool_[id].split = top.x;
+          return id;
+        }
+        size_t mid = blo + 1 + (rest - 1) / 2;
+        t.pool_[id].split = local[mid].x;
+        uint32_t l = bself(bself, blo + 1, mid + 1);
+        uint32_t r = bself(bself, mid + 1, bhi);
+        t.pool_[id].left = l;
+        t.pool_[id].right = r;
+        return id;
+      };
+      return build(build, 0, local.size());
+    }
+    uint32_t top_idx = tt.range_argmax(lo, hi);
+    assert(top_idx != TournamentTree::kNone);
+    uint32_t id = static_cast<uint32_t>(t.pool_.size());
+    t.pool_.push_back(Node{});
+    asym::count_write();
+    t.pool_[id].pt = sorted[top_idx];
+    tt.erase_scoped(top_idx, lo, hi);
+    size_t rest = nv - 1;
+    if (rest == 0) {
+      t.pool_[id].split = t.pool_[id].pt.x;
+      return id;
+    }
+    size_t k = (rest - 1) / 2;  // left keeps k+1 valid points
+    uint32_t med = tt.kth_valid(lo, hi, k);
+    assert(med != TournamentTree::kNone);
+    t.pool_[id].split = sorted[med].x;
+    uint32_t l = self(self, lo, med + 1, k + 1);
+    uint32_t r = self(self, med + 1, hi, rest - (k + 1));
+    t.pool_[id].left = l;
+    t.pool_[id].right = r;
+    return id;
+  };
+  t.root_ = rec(rec, 0, t.n_, t.n_);
+
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = t.height();
+    stats->smallmem_base_cases = base_cases;
+  }
+  return t;
+}
+
+template <typename F>
+void StaticPriorityTree::query_rec(uint32_t v, double xlo, double xhi,
+                                   double xl, double xr, double yb,
+                                   F&& report) const {
+  if (v == kNull) return;
+  if (xhi < xl || xlo > xr) return;  // x-range disjoint
+  asym::count_read();
+  const Node& nd = pool_[v];
+  if (nd.pt.y < yb) return;  // heap prune
+  if (nd.pt.x >= xl && nd.pt.x <= xr) report(nd.pt);
+  query_rec(nd.left, xlo, nd.split, xl, xr, yb, report);
+  query_rec(nd.right, nd.split, xhi, xl, xr, yb, report);
+}
+
+std::vector<uint32_t> StaticPriorityTree::query(double xl, double xr,
+                                                double yb) const {
+  std::vector<uint32_t> out;
+  query_rec(root_, -kInf, kInf, xl, xr, yb, [&](const PPoint& p) {
+    asym::count_write();
+    out.push_back(p.id);
+  });
+  return out;
+}
+
+size_t StaticPriorityTree::query_count(double xl, double xr, double yb) const {
+  size_t c = 0;
+  query_rec(root_, -kInf, kInf, xl, xr, yb, [&](const PPoint&) { ++c; });
+  return c;
+}
+
+size_t StaticPriorityTree::height() const {
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    if (v == kNull) return 0;
+    return 1 + std::max(self(self, pool_[v].left), self(self, pool_[v].right));
+  };
+  return rec(rec, root_);
+}
+
+bool StaticPriorityTree::validate() const {
+  size_t count = 0;
+  bool ok = true;
+  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi,
+                 double ymax) -> void {
+    if (v == kNull) return;
+    ++count;
+    const Node& nd = pool_[v];
+    if (nd.pt.y > ymax) ok = false;                    // heap order
+    if (nd.pt.x < xlo || nd.pt.x > xhi) ok = false;    // x partition
+    self(self, nd.left, xlo, nd.split, nd.pt.y);
+    self(self, nd.right, nd.split, xhi, nd.pt.y);
+  };
+  rec(rec, root_, -kInf, kInf, kInf);
+  return ok && count == n_;
+}
+
+// ---------------------------------------------------------------------------
+// DynamicPriorityTree
+// ---------------------------------------------------------------------------
+
+uint32_t DynamicPriorityTree::alloc() {
+  if (!free_.empty()) {
+    uint32_t v = free_.back();
+    free_.pop_back();
+    pool_[v] = Node{};
+    return v;
+  }
+  pool_.push_back(Node{});
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void DynamicPriorityTree::insert(const PPoint& p) {
+  ++live_;
+  ++root_weight_;
+  asym::count_write();  // virtual-root weight
+  if (root_ == kNull) {
+    root_ = alloc();
+    pool_[root_].critical = true;
+    pool_[root_].has_point = true;
+    pool_[root_].pt = p;
+    pool_[root_].init_weight = 2;
+    pool_[root_].weight = 2;
+    asym::count_write();
+    return;
+  }
+  std::vector<uint32_t> path;
+  PPoint carried = p;
+  bool carried_dead = false;  // dead points can be displaced downward too
+  uint32_t v = root_;
+  while (true) {
+    path.push_back(v);
+    asym::count_read();
+    Node& nd = pool_[v];
+    // Swap down the chain of stored points: the node keeps the higher
+    // priority (dead points participate — they still bound the subtree).
+    if (nd.has_point && carried.y > nd.pt.y) {
+      std::swap(carried, nd.pt);
+      std::swap(carried_dead, nd.dead);
+      asym::count_write();
+    }
+    if (nd.left == kNull && nd.right == kNull) break;  // leaf
+    v = carried.x <= nd.split ? nd.left : nd.right;
+  }
+  // At the leaf: place or split.
+  Node& leaf = pool_[v];
+  if (!leaf.has_point) {
+    leaf.has_point = true;
+    leaf.pt = carried;
+    leaf.dead = carried_dead;
+    asym::count_write();
+  } else {
+    // Leaf keeps its (higher-y, post-swap) point and becomes internal; the
+    // carried point descends into a fresh child leaf, its sibling empty.
+    // Fresh nodes start at weight 1 (no point); bump_and_rebalance below
+    // accounts for the newly inserted point on the whole path.
+    double split = carried.x;
+    uint32_t cl = alloc();
+    uint32_t cr = alloc();
+    Node& nd = pool_[v];  // re-fetch (alloc may reallocate)
+    nd.split = split;
+    nd.left = cl;
+    nd.right = cr;
+    uint32_t target = cl;  // carried.x <= split
+    pool_[cl].critical = pool_[cr].critical = true;
+    pool_[cl].init_weight = pool_[cr].init_weight = 2;
+    pool_[cl].weight = pool_[cr].weight = 1;
+    pool_[target].has_point = true;
+    pool_[target].pt = carried;
+    pool_[target].dead = carried_dead;
+    asym::count_write(2);
+    path.push_back(target);
+  }
+  bump_and_rebalance(path);
+}
+
+void DynamicPriorityTree::bump_and_rebalance(
+    const std::vector<uint32_t>& path) {
+  for (uint32_t v : path) {
+    if (pool_[v].critical) {
+      asym::count_write();
+      ++pool_[v].weight;
+    }
+  }
+  if (root_weight_ >= 2 * root_init_ && live_ + dead_ > 4) {
+    rebuild(root_, kNull, 0, root_init_);
+    return;
+  }
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint32_t v = path[i];
+    const Node& nd = pool_[v];
+    if (nd.critical && nd.weight >= 2 * nd.init_weight && nd.init_weight > 1) {
+      if (i == 0) {
+        rebuild(root_, kNull, 0, root_init_);
+      } else {
+        uint32_t parent = path[i - 1];
+        int side = pool_[parent].right == v ? 1 : 0;
+        rebuild(v, parent, side, nd.init_weight);
+      }
+      return;
+    }
+  }
+}
+
+void DynamicPriorityTree::collect_live(uint32_t v,
+                                       std::vector<PPoint>& out) const {
+  if (v == kNull) return;
+  std::vector<uint32_t> st{v};
+  while (!st.empty()) {
+    uint32_t u = st.back();
+    st.pop_back();
+    const Node& nd = pool_[u];
+    asym::count_read();
+    if (nd.has_point && !nd.dead) out.push_back(nd.pt);
+    if (nd.left != kNull) st.push_back(nd.left);
+    if (nd.right != kNull) st.push_back(nd.right);
+  }
+}
+
+uint32_t DynamicPriorityTree::build_range(std::vector<PPoint>& pts, size_t lo,
+                                          size_t hi, uint64_t sibling_points) {
+  if (lo >= hi) return kNull;
+  uint64_t w = (hi - lo) + 1;
+  uint32_t id = alloc();
+  asym::count_write();
+  Node& nd0 = pool_[id];
+  nd0.critical = is_critical_weight(w, sibling_points + 1, alpha_);
+  nd0.init_weight = w;
+  nd0.weight = w;
+  size_t begin = lo;
+  if (pool_[id].critical || hi - lo == 1) {
+    // Extract the max-priority point for this node (leaves always hold their
+    // point — they are critical by weight 2).
+    size_t best = lo;
+    for (size_t i = lo + 1; i < hi; ++i) {
+      if (pts[i].y > pts[best].y) best = i;
+    }
+    asym::count_read(hi - lo);
+    pool_[id].has_point = true;
+    pool_[id].pt = pts[best];
+    // Remove by swapping toward the front, preserving x order of the rest
+    // via rotation.
+    std::rotate(pts.begin() + static_cast<long>(lo),
+                pts.begin() + static_cast<long>(best),
+                pts.begin() + static_cast<long>(best) + 1);
+    begin = lo + 1;
+  }
+  if (begin >= hi) {
+    pool_[id].split = pool_[id].has_point ? pool_[id].pt.x : 0;
+    if (!pool_[id].critical) {
+      // A childless secondary node would be pointless; make it critical so
+      // every leaf holds its point.
+      pool_[id].critical = true;
+    }
+    return id;
+  }
+  size_t rest = hi - begin;
+  size_t mid = begin + (rest - 1) / 2;  // left keeps [begin, mid]
+  pool_[id].split = pts[mid].x;
+  uint64_t wl = (mid + 1 - begin) + 1, wr = (hi - (mid + 1)) + 1;
+  uint32_t l = build_range(pts, begin, mid + 1, wr - 1);
+  uint32_t r = build_range(pts, mid + 1, hi, wl - 1);
+  pool_[id].left = l;
+  pool_[id].right = r;
+  return id;
+}
+
+void DynamicPriorityTree::rebuild(uint32_t v, uint32_t parent, int side,
+                                  uint64_t old_init) {
+  ++rebuilds_;
+  std::vector<PPoint> pts;
+  collect_live(v, pts);
+  // Free old subtree.
+  {
+    std::vector<uint32_t> st{v};
+    while (!st.empty()) {
+      uint32_t u = st.back();
+      st.pop_back();
+      if (pool_[u].left != kNull) st.push_back(pool_[u].left);
+      if (pool_[u].right != kNull) st.push_back(pool_[u].right);
+      bool was_dead = pool_[u].has_point && pool_[u].dead;
+      if (was_dead) --dead_;
+      pool_[u] = Node{};
+      free_.push_back(u);
+    }
+  }
+  // Sort by x. Small subtrees (the frequent leaf-level reconstructions)
+  // fit in the symmetric memory (size Omega(log n)) and sort there for the
+  // cost of reading them in and writing them out; larger subtrees use the
+  // write-efficient sorter (linear writes).
+  if (pts.size() <= 64) {
+    asym::count_read(pts.size());
+    asym::count_write(pts.size());
+    std::sort(pts.begin(), pts.end(), px_less);
+  } else {
+    std::vector<uint64_t> keys(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      keys[i] = sort::double_to_sortable(pts[i].x);
+    }
+    asym::count_read(pts.size());
+    auto order = sort::incremental_sort_we_order_anyorder(keys);
+    std::vector<PPoint> sorted(pts.size());
+    asym::count_write(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) sorted[i] = pts[order[i]];
+    pts.swap(sorted);
+  }
+  uint32_t fresh = pts.empty() ? kNull : build_range(pts, 0, pts.size(), 0);
+  if (parent == kNull) {
+    root_ = fresh;
+    root_weight_ = pts.size() + 1;
+    root_init_ = root_weight_;
+  } else {
+    asym::count_write();
+    if (side == 0) {
+      pool_[parent].left = fresh;
+    } else {
+      pool_[parent].right = fresh;
+    }
+  }
+  if (fresh != kNull && parent != kNull &&
+      rebuild_root_exception(old_init, alpha_) && pool_[fresh].critical &&
+      !pool_[fresh].has_point) {
+    // §7.3.2 exception: the fresh root stays secondary. We only unmark when
+    // it holds no point (labels drift until the next rebuild otherwise).
+    pool_[fresh].critical = false;
+  }
+}
+
+bool DynamicPriorityTree::erase(const PPoint& p) {
+  bool found = false;
+  auto rec = [&](auto&& self, uint32_t v) -> void {
+    if (v == kNull || found) return;
+    asym::count_read();
+    Node& nd = pool_[v];
+    if (nd.has_point && nd.pt.y < p.y) return;  // heap prune
+    if (nd.has_point && !nd.dead && nd.pt == p) {
+      asym::count_write();
+      nd.dead = true;
+      found = true;
+      return;
+    }
+    if (nd.left == kNull && nd.right == kNull) return;
+    // Ties on the splitter search both sides.
+    if (p.x <= nd.split) self(self, nd.left);
+    if (!found && p.x >= nd.split) self(self, nd.right);
+  };
+  rec(rec, root_);
+  if (!found) return false;
+  --live_;
+  ++dead_;
+  if (dead_ * 2 >= live_ + dead_ && live_ + dead_ > 8) {
+    rebuild(root_, kNull, 0, root_init_);
+  }
+  return true;
+}
+
+std::vector<uint32_t> DynamicPriorityTree::query(double xl, double xr,
+                                                 double yb) const {
+  std::vector<uint32_t> out;
+  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi) -> void {
+    if (v == kNull) return;
+    if (xhi < xl || xlo > xr) return;
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (nd.has_point) {
+      if (nd.pt.y < yb) return;  // heap prune (dead points prune too)
+      if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr) {
+        asym::count_write();
+        out.push_back(nd.pt.id);
+      }
+    }
+    self(self, nd.left, xlo, nd.split);
+    self(self, nd.right, nd.split, xhi);
+  };
+  rec(rec, root_, -kInf, kInf);
+  return out;
+}
+
+size_t DynamicPriorityTree::query_count(double xl, double xr,
+                                        double yb) const {
+  size_t c = 0;
+  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi) -> void {
+    if (v == kNull) return;
+    if (xhi < xl || xlo > xr) return;
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (nd.has_point) {
+      if (nd.pt.y < yb) return;
+      if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr) ++c;
+    }
+    self(self, nd.left, xlo, nd.split);
+    self(self, nd.right, nd.split, xhi);
+  };
+  rec(rec, root_, -kInf, kInf);
+  return c;
+}
+
+size_t DynamicPriorityTree::height() const {
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    if (v == kNull) return 0;
+    return 1 + std::max(self(self, pool_[v].left), self(self, pool_[v].right));
+  };
+  return rec(rec, root_);
+}
+
+bool DynamicPriorityTree::validate() const {
+  bool ok = true;
+  size_t live_seen = 0;
+  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi,
+                 double ymax) -> void {
+    if (v == kNull) return;
+    const Node& nd = pool_[v];
+    double next_ymax = ymax;
+    if (nd.has_point) {
+      if (nd.pt.y > ymax) ok = false;
+      if (nd.pt.x < xlo || nd.pt.x > xhi) ok = false;
+      if (!nd.dead) ++live_seen;
+      next_ymax = nd.pt.y;
+    }
+    if (nd.left != kNull || nd.right != kNull) {
+      self(self, nd.left, xlo, nd.split, next_ymax);
+      self(self, nd.right, nd.split, xhi, next_ymax);
+    }
+  };
+  rec(rec, root_, -kInf, kInf, kInf);
+  return ok && live_seen == live_;
+}
+
+}  // namespace weg::augtree

@@ -1,0 +1,134 @@
+// Priority search trees for 3-sided queries (Sections 7.1-7.3, Appendix A).
+//
+// We implement the paper's second variant: a heap on priorities (y) where
+// each node also stores an x-splitter between its subtrees, enabling
+// reconstruction-based updates (rotations are impossible in this variant).
+//
+// StaticPriorityTree:
+//   * build_classic — textbook recursion: extract the max-priority point,
+//     split the rest by the x-median, copy the two halves — Θ(n log n) reads
+//     and writes (baseline).
+//   * build_postsorted (Section 7.2 + Appendix A, Theorem 7.1) — after one
+//     write-efficient sort by x, a tournament tree answers range-argmax /
+//     k-th-valid queries and supports scoped deletions, so the whole tree is
+//     carved out of the *in-place* sorted array with O(n) writes. Base case:
+//     when a range has more holes than valid points, the valid points are
+//     loaded into the symmetric memory (size Ω(log n)) and the subtree is
+//     finished there.
+//
+// DynamicPriorityTree (Section 7.3.4): points are stored only at *critical*
+// nodes (α-labeling); secondary nodes just partition x. An insertion swaps
+// the new point down the critical chain (O(log_α n) writes); deletions mark
+// points dead in place — a dead point still upper-bounds its subtree's
+// priorities, so query pruning stays correct — and the subtree is rebuilt
+// through the usual weight-doubling rule (weights here count points + 1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/augtree/alpha.h"
+
+namespace weg::augtree {
+
+struct PPoint {
+  double x = 0;
+  double y = 0;  // priority
+  uint32_t id = 0;
+
+  friend bool operator==(const PPoint& a, const PPoint& b) {
+    return a.x == b.x && a.y == b.y && a.id == b.id;
+  }
+};
+
+class StaticPriorityTree {
+ public:
+  struct Stats {
+    asym::Counts cost;
+    size_t height = 0;
+    size_t smallmem_base_cases = 0;  // Appendix A base-case count
+  };
+
+  static StaticPriorityTree build_classic(const std::vector<PPoint>& pts,
+                                          Stats* stats = nullptr);
+  static StaticPriorityTree build_postsorted(const std::vector<PPoint>& pts,
+                                             Stats* stats = nullptr);
+
+  // 3-sided query: ids of points with xL <= x <= xR and y >= yB.
+  std::vector<uint32_t> query(double xl, double xr, double yb) const;
+  size_t query_count(double xl, double xr, double yb) const;
+
+  size_t size() const { return n_; }
+  size_t height() const;
+  bool validate() const;
+
+ private:
+  static constexpr uint32_t kNull = UINT32_MAX;
+
+  struct Node {
+    PPoint pt;
+    double split = 0;
+    uint32_t left = kNull;
+    uint32_t right = kNull;
+  };
+
+  template <typename F>
+  void query_rec(uint32_t v, double xlo, double xhi, double xl, double xr,
+                 double yb, F&& report) const;
+
+  std::vector<Node> pool_;
+  uint32_t root_ = kNull;
+  size_t n_ = 0;
+};
+
+class DynamicPriorityTree {
+ public:
+  explicit DynamicPriorityTree(uint64_t alpha = 2) : alpha_(alpha) {}
+
+  void insert(const PPoint& p);
+  bool erase(const PPoint& p);  // marks dead; false if absent
+
+  std::vector<uint32_t> query(double xl, double xr, double yb) const;
+  size_t query_count(double xl, double xr, double yb) const;
+
+  size_t size() const { return live_; }
+  size_t rebuilds() const { return rebuilds_; }
+  size_t height() const;
+  bool validate() const;
+
+ private:
+  static constexpr uint32_t kNull = UINT32_MAX;
+
+  struct Node {
+    double split = 0;          // internal only
+    uint32_t left = kNull;     // both kNull -> leaf
+    uint32_t right = kNull;
+    bool critical = false;
+    bool has_point = false;
+    bool dead = false;         // point marked erased (still prunes)
+    PPoint pt;
+    uint64_t init_weight = 0;  // critical only; weight = points + 1
+    uint64_t weight = 0;
+  };
+
+  uint32_t alloc();
+  void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
+  // Post-sorted rebuild core over pts[lo, hi) (sorted by x): returns node.
+  uint32_t build_range(std::vector<PPoint>& pts, size_t lo, size_t hi,
+                       uint64_t sibling_points);
+  void collect_live(uint32_t v, std::vector<PPoint>& out) const;
+  void bump_and_rebalance(const std::vector<uint32_t>& path);
+
+  uint64_t alpha_;
+  std::vector<Node> pool_;
+  std::vector<uint32_t> free_;
+  uint32_t root_ = kNull;
+  uint64_t root_weight_ = 1;  // points + 1
+  uint64_t root_init_ = 1;
+  size_t live_ = 0;
+  size_t dead_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace weg::augtree

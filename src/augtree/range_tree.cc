@@ -1,0 +1,670 @@
+#include "src/augtree/range_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "src/primitives/sort.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg::augtree {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Sorted order of points by (x, id) with write-efficient counting: the WE
+// sorter orders by x (ties by input index); equal-x runs are then locally
+// reordered by id (runs are short for generic inputs).
+std::vector<uint32_t> we_order_by_x(const std::vector<PPoint>& pts) {
+  std::vector<uint64_t> keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    keys[i] = sort::double_to_sortable(pts[i].x);
+  }
+  asym::count_read(pts.size());
+  auto order = sort::incremental_sort_we_order(keys);
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i + 1;
+    asym::count_read();
+    while (j < order.size() && pts[order[j]].x == pts[order[i]].x) ++j;
+    if (j - i > 1) {
+      std::sort(order.begin() + static_cast<long>(i),
+                order.begin() + static_cast<long>(j),
+                [&](uint32_t a, uint32_t b) { return pts[a].id < pts[b].id; });
+      asym::count_write(j - i);
+    }
+    i = j;
+  }
+  return order;
+}
+
+std::vector<uint32_t> we_order_by_y(const std::vector<PPoint>& pts) {
+  // Callers pass x-ordered collections (reconstruction), so the random-order
+  // precondition does not hold; use the shuffling variant.
+  std::vector<uint64_t> keys(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    keys[i] = sort::double_to_sortable(pts[i].y);
+  }
+  asym::count_read(pts.size());
+  return sort::incremental_sort_we_order_anyorder(keys);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StaticRangeTree
+// ---------------------------------------------------------------------------
+
+StaticRangeTree StaticRangeTree::build(const std::vector<PPoint>& pts,
+                                       Stats* stats) {
+  asym::Region region;
+  StaticRangeTree t;
+  t.n_ = pts.size();
+  t.m_ = 1;
+  t.height_ = 1;
+  while (t.m_ < std::max<size_t>(t.n_, 1)) {
+    t.m_ = 2 * t.m_ + 1;
+    ++t.height_;
+  }
+  t.by_x_ = pts;
+  asym::count_read(t.n_);
+  primitives::sort_inplace(t.by_x_, [](const PPoint& a, const PPoint& b) {
+    return a.x < b.x || (a.x == b.x && a.id < b.id);
+  });
+
+  // One y-sort, then top-down stable partition by rank range: node at
+  // position p (level l) covers ranks [p - 2^l, p + 2^l - 2].
+  std::vector<std::pair<double, uint32_t>> all(t.n_);  // (y, rank)
+  for (size_t r = 0; r < t.n_; ++r) all[r] = {t.by_x_[r].y, (uint32_t)r};
+  primitives::sort_inplace(all);
+
+  std::vector<std::vector<std::pair<double, uint32_t>>> per_node(t.m_ + 1);
+  auto rec = [&](auto&& self, size_t pos,
+                 std::vector<std::pair<double, uint32_t>> list) -> void {
+    if (list.empty()) return;
+    asym::count_read(list.size());
+    asym::count_write(list.size());  // this level's copy
+    int lvl = std::countr_zero(pos);
+    per_node[pos] = list;
+    if (lvl == 0) return;
+    size_t step = size_t{1} << (lvl - 1);
+    std::vector<std::pair<double, uint32_t>> left, right;
+    uint32_t own_rank = static_cast<uint32_t>(pos - 1);
+    for (auto& e : list) {
+      if (e.second < own_rank) {
+        left.push_back(e);
+      } else if (e.second > own_rank) {
+        right.push_back(e);
+      }
+    }
+    self(self, pos - step, std::move(left));
+    self(self, pos + step, std::move(right));
+  };
+  rec(rec, t.root_pos(), std::move(all));
+
+  // Flatten into CSR, converting ranks to ids.
+  t.inner_off_.assign(t.m_ + 1, 0);
+  size_t total = 0;
+  for (size_t p = 1; p <= t.m_; ++p) total += per_node[p].size();
+  t.ys_.reserve(total);
+  for (size_t p = 1; p <= t.m_; ++p) {
+    t.inner_off_[p - 1] = static_cast<uint32_t>(t.ys_.size());
+    for (auto& [y, r] : per_node[p]) t.ys_.emplace_back(y, t.by_x_[r].id);
+  }
+  t.inner_off_[t.m_] = static_cast<uint32_t>(t.ys_.size());
+  asym::count_write(total);
+
+  if (stats) {
+    stats->cost = region.delta();
+    stats->inner_entries = total;
+  }
+  return t;
+}
+
+template <typename F>
+void StaticRangeTree::covered(size_t pos, double yb, double yt,
+                              F&& emit) const {
+  size_t lo = inner_off_[pos - 1], hi = inner_off_[pos];
+  auto first = std::lower_bound(
+      ys_.begin() + lo, ys_.begin() + hi, yb,
+      [](const std::pair<double, uint32_t>& e, double v) { return e.first < v; });
+  asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
+  for (auto it = first; it != ys_.begin() + hi && it->first <= yt; ++it) {
+    asym::count_read();
+    emit(it->second);
+  }
+}
+
+namespace {
+
+// Shared canonical decomposition over the implicit tree: visits node `pos`
+// whose subtree covers ranks [a, b); query rank range [rl, rr).
+template <typename Covered, typename Own>
+void decompose(size_t pos, size_t a, size_t b, size_t rl, size_t rr, size_t n,
+               const Covered& covered_fn, const Own& own_fn) {
+  if (rr <= a || b <= rl || a >= n) return;
+  asym::count_read();
+  if (rl <= a && b <= rr) {
+    covered_fn(pos);
+    return;
+  }
+  size_t own_rank = pos - 1;
+  if (own_rank < n && own_rank >= rl && own_rank < rr) own_fn(own_rank);
+  int lvl = std::countr_zero(pos);
+  if (lvl == 0) return;
+  size_t step = size_t{1} << (lvl - 1);
+  decompose(pos - step, a, own_rank, rl, rr, n, covered_fn, own_fn);
+  decompose(pos + step, own_rank + 1, b, rl, rr, n, covered_fn, own_fn);
+}
+
+}  // namespace
+
+std::vector<uint32_t> StaticRangeTree::query(double xl, double xr, double yb,
+                                             double yt) const {
+  std::vector<uint32_t> out;
+  if (n_ == 0) return out;
+  auto rl = static_cast<size_t>(
+      std::lower_bound(by_x_.begin(), by_x_.end(), xl,
+                       [](const PPoint& p, double v) { return p.x < v; }) -
+      by_x_.begin());
+  auto rr = static_cast<size_t>(
+      std::upper_bound(by_x_.begin(), by_x_.end(), xr,
+                       [](double v, const PPoint& p) { return v < p.x; }) -
+      by_x_.begin());
+  asym::count_read(static_cast<uint64_t>(2 * std::bit_width(n_)));
+  size_t root = root_pos();
+  size_t span = root - 1;  // ranks [root-1-span, root-1+span]
+  decompose(
+      root, root - 1 - span, root + span, rl, rr, n_,
+      [&](size_t pos) {
+        covered(pos, yb, yt, [&](uint32_t id) {
+          asym::count_write();
+          out.push_back(id);
+        });
+      },
+      [&](size_t rank) {
+        asym::count_read();
+        if (by_x_[rank].y >= yb && by_x_[rank].y <= yt) {
+          asym::count_write();
+          out.push_back(by_x_[rank].id);
+        }
+      });
+  return out;
+}
+
+size_t StaticRangeTree::query_count(double xl, double xr, double yb,
+                                    double yt) const {
+  size_t c = 0;
+  if (n_ == 0) return 0;
+  auto rl = static_cast<size_t>(
+      std::lower_bound(by_x_.begin(), by_x_.end(), xl,
+                       [](const PPoint& p, double v) { return p.x < v; }) -
+      by_x_.begin());
+  auto rr = static_cast<size_t>(
+      std::upper_bound(by_x_.begin(), by_x_.end(), xr,
+                       [](double v, const PPoint& p) { return v < p.x; }) -
+      by_x_.begin());
+  asym::count_read(static_cast<uint64_t>(2 * std::bit_width(n_)));
+  size_t root = root_pos();
+  size_t span = root - 1;
+  decompose(
+      root, root - 1 - span, root + span, rl, rr, n_,
+      [&](size_t pos) {
+        size_t lo = inner_off_[pos - 1], hi = inner_off_[pos];
+        auto first = std::lower_bound(
+            ys_.begin() + lo, ys_.begin() + hi, yb,
+            [](const std::pair<double, uint32_t>& e, double v) {
+              return e.first < v;
+            });
+        auto last = std::upper_bound(
+            ys_.begin() + lo, ys_.begin() + hi, yt,
+            [](double v, const std::pair<double, uint32_t>& e) {
+              return v < e.first;
+            });
+        asym::count_read(static_cast<uint64_t>(2 * std::bit_width(hi - lo + 1)));
+        c += static_cast<size_t>(last - first);
+      },
+      [&](size_t rank) {
+        asym::count_read();
+        if (by_x_[rank].y >= yb && by_x_[rank].y <= yt) ++c;
+      });
+  return c;
+}
+
+bool StaticRangeTree::validate() const {
+  // Every point appears in the inner list of each of its ancestors
+  // (including its own node): total entries per point = depth of its node.
+  if (ys_.size() < n_) return false;
+  // Inner lists sorted by y.
+  for (size_t p = 1; p <= m_; ++p) {
+    for (size_t i = inner_off_[p - 1] + 1; i < inner_off_[p]; ++i) {
+      if (ys_[i - 1].first > ys_[i].first) return false;
+    }
+  }
+  // by_x_ sorted.
+  for (size_t r = 1; r < n_; ++r) {
+    if (by_x_[r - 1].x > by_x_[r].x) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// AlphaRangeTree
+// ---------------------------------------------------------------------------
+
+uint32_t AlphaRangeTree::alloc() {
+  if (!free_.empty()) {
+    uint32_t v = free_.back();
+    free_.pop_back();
+    pool_[v] = Node{};
+    return v;
+  }
+  pool_.push_back(Node{});
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void AlphaRangeTree::set_critical(uint32_t v, uint64_t w, uint64_t sw) {
+  Node& nd = pool_[v];
+  nd.critical = is_critical_weight(w, sw, alpha_);
+  if (nd.critical) {
+    nd.init_weight = w;
+    nd.weight = w;
+    asym::count_write();
+  }
+}
+
+uint64_t AlphaRangeTree::mark_rec(uint32_t v) {
+  if (v == kNull) return 1;
+  asym::count_read();
+  uint64_t wl = mark_rec(pool_[v].left);
+  uint64_t wr = mark_rec(pool_[v].right);
+  if (pool_[v].left != kNull) set_critical(pool_[v].left, wl, wr);
+  if (pool_[v].right != kNull) set_critical(pool_[v].right, wr, wl);
+  return wl + wr;
+}
+
+void AlphaRangeTree::mark_criticals(uint32_t v) {
+  uint64_t w = mark_rec(v);
+  set_critical(v, w, 0);
+}
+
+void AlphaRangeTree::collect_inorder(uint32_t v,
+                                     std::vector<SkelEntry>& entries) const {
+  if (v == kNull) return;
+  std::vector<std::pair<uint32_t, bool>> st{{v, false}};
+  while (!st.empty()) {
+    auto [u, expanded] = st.back();
+    st.pop_back();
+    const Node& nd = pool_[u];
+    if (expanded) {
+      asym::count_read();
+      entries.push_back(SkelEntry{nd.pt, nd.dead});
+      continue;
+    }
+    if (nd.right != kNull) st.push_back({nd.right, false});
+    st.push_back({u, true});
+    if (nd.left != kNull) st.push_back({nd.left, false});
+  }
+}
+
+uint32_t AlphaRangeTree::build_balanced(std::vector<SkelEntry>& pts,
+                                        size_t lo, size_t hi) {
+  if (lo >= hi) return kNull;
+  size_t mid = lo + (hi - lo) / 2;
+  uint32_t v = alloc();
+  asym::count_write();
+  pool_[v].pt = pts[mid].pt;
+  pool_[v].dead = pts[mid].dead;
+  uint32_t l = build_balanced(pts, lo, mid);
+  uint32_t r = build_balanced(pts, mid + 1, hi);
+  pool_[v].left = l;
+  pool_[v].right = r;
+  return v;
+}
+
+void AlphaRangeTree::fill_inners(uint32_t c, std::vector<YX>& ylist) {
+  // ylist: y-sorted live points of c's subtree (including c's own point if
+  // live). Critical nodes materialize it as their inner treap.
+  if (pool_[c].critical && !ylist.empty()) {
+    std::vector<std::pair<double, uint32_t>> es;
+    es.reserve(ylist.size());
+    for (const YX& e : ylist) es.emplace_back(e.y, e.id);
+    pool_[c].inner = Treap::from_sorted(es);
+  } else {
+    pool_[c].inner = Treap{};
+  }
+  if (pool_[c].left == kNull && pool_[c].right == kNull) return;
+  // Ordered filter (Appendix A): route each entry down the skeleton to its
+  // next critical node (<= O(alpha) secondary steps, Corollary 7.1). An
+  // entry that *is* a node on the way stays at that node (it appears in no
+  // deeper inner list). Stability preserves the y order in every bucket.
+  std::vector<std::pair<uint32_t, std::vector<YX>>> buckets;
+  auto bucket_of = [&](uint32_t cc) -> std::vector<YX>& {
+    for (auto& [k, list] : buckets) {
+      if (k == cc) return list;
+    }
+    buckets.emplace_back(cc, std::vector<YX>{});
+    return buckets.back().second;
+  };
+  for (const YX& e : ylist) {
+    uint32_t u = c;
+    while (true) {
+      asym::count_read();
+      const Node& nd = pool_[u];
+      if (u != c && nd.critical) {
+        asym::count_write();
+        bucket_of(u).push_back(e);
+        break;
+      }
+      if (nd.pt.id == e.id && nd.pt.x == e.x) break;  // the entry is node u
+      uint32_t next = (e.x < nd.pt.x || (e.x == nd.pt.x && e.id < nd.pt.id))
+                          ? nd.left
+                          : nd.right;
+      assert(next != kNull);
+      u = next;
+    }
+  }
+  for (auto& [cc, list] : buckets) fill_inners(cc, list);
+}
+
+void AlphaRangeTree::rebuild(uint32_t v, uint32_t parent, int side,
+                             uint64_t old_init) {
+  ++rebuilds_;
+  std::vector<SkelEntry> entries;
+  collect_inorder(v, entries);
+  bool whole = (parent == kNull);
+  if (whole) {
+    std::vector<SkelEntry> live;
+    live.reserve(entries.size());
+    for (auto& e : entries) {
+      if (!e.dead) live.push_back(e);
+    }
+    dead_ = 0;
+    entries.swap(live);
+  }
+  // Free old subtree (treaps die with the nodes).
+  {
+    std::vector<uint32_t> st{v};
+    while (!st.empty()) {
+      uint32_t u = st.back();
+      st.pop_back();
+      if (pool_[u].left != kNull) st.push_back(pool_[u].left);
+      if (pool_[u].right != kNull) st.push_back(pool_[u].right);
+      pool_[u] = Node{};
+      free_.push_back(u);
+    }
+  }
+  uint32_t fresh = build_balanced(entries, 0, entries.size());
+  if (whole) {
+    root_ = fresh;
+    root_weight_ = entries.size() + 1;
+    root_init_ = root_weight_;
+  } else {
+    asym::count_write();
+    if (side == 0) {
+      pool_[parent].left = fresh;
+    } else {
+      pool_[parent].right = fresh;
+    }
+  }
+  if (fresh == kNull) return;
+  mark_criticals(fresh);
+  if (!whole && rebuild_root_exception(old_init, alpha_) &&
+      pool_[fresh].critical) {
+    pool_[fresh].critical = false;
+  }
+  // Rebuild the inner trees: one write-efficient y-sort of the live points,
+  // then the Appendix A ordered filter down the critical hierarchy.
+  std::vector<PPoint> live;
+  live.reserve(entries.size());
+  for (auto& e : entries) {
+    if (!e.dead) live.push_back(e.pt);
+  }
+  auto yorder = we_order_by_y(live);
+  std::vector<YX> ylist(live.size());
+  asym::count_read(live.size());
+  asym::count_write(live.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    const PPoint& p = live[yorder[i]];
+    ylist[i] = YX{p.y, p.id, p.x};
+  }
+  fill_inners(fresh, ylist);
+}
+
+void AlphaRangeTree::bump_and_rebalance(const std::vector<uint32_t>& path) {
+  for (uint32_t v : path) {
+    if (pool_[v].critical) {
+      asym::count_write();
+      ++pool_[v].weight;
+    }
+  }
+  asym::count_write();  // virtual-root weight
+  if (root_weight_ >= 2 * root_init_ && live_ + dead_ > 4) {
+    rebuild(root_, kNull, 0, root_init_);
+    return;
+  }
+  for (size_t i = 0; i < path.size(); ++i) {
+    uint32_t v = path[i];
+    const Node& nd = pool_[v];
+    if (nd.critical && nd.weight >= 2 * nd.init_weight) {
+      if (i == 0) {
+        rebuild(root_, kNull, 0, root_init_);
+      } else {
+        uint32_t parent = path[i - 1];
+        int side = pool_[parent].right == v ? 1 : 0;
+        rebuild(v, parent, side, nd.init_weight);
+      }
+      return;
+    }
+  }
+}
+
+AlphaRangeTree AlphaRangeTree::build(const std::vector<PPoint>& pts,
+                                     uint64_t alpha, asym::Counts* cost) {
+  asym::Region region;
+  AlphaRangeTree t(alpha);
+  if (!pts.empty()) {
+    auto order = we_order_by_x(pts);
+    std::vector<SkelEntry> entries(pts.size());
+    asym::count_read(pts.size());
+    asym::count_write(pts.size());
+    for (size_t i = 0; i < pts.size(); ++i) {
+      entries[i] = SkelEntry{pts[order[i]], false};
+    }
+    t.root_ = t.build_balanced(entries, 0, entries.size());
+    t.root_weight_ = entries.size() + 1;
+    t.root_init_ = t.root_weight_;
+    t.live_ = pts.size();
+    t.mark_criticals(t.root_);
+    std::vector<PPoint> live(pts.begin(), pts.end());
+    auto yorder = we_order_by_y(live);
+    std::vector<YX> ylist(live.size());
+    asym::count_read(live.size());
+    asym::count_write(live.size());
+    for (size_t i = 0; i < live.size(); ++i) {
+      const PPoint& p = live[yorder[i]];
+      ylist[i] = YX{p.y, p.id, p.x};
+    }
+    t.fill_inners(t.root_, ylist);
+  }
+  if (cost) *cost = region.delta();
+  return t;
+}
+
+void AlphaRangeTree::insert(const PPoint& p) {
+  ++live_;
+  ++root_weight_;
+  std::vector<uint32_t> path;
+  uint32_t nu = alloc();
+  pool_[nu].pt = p;
+  pool_[nu].critical = true;
+  pool_[nu].init_weight = 2;
+  pool_[nu].weight = 1;  // bump adds the new node's contribution
+  asym::count_write();
+  if (root_ == kNull) {
+    root_ = nu;
+    path.push_back(nu);
+  } else {
+    uint32_t v = root_;
+    while (true) {
+      path.push_back(v);
+      asym::count_read();
+      if (xless(p, pool_[v].pt)) {
+        if (pool_[v].left == kNull) {
+          pool_[v].left = nu;
+          break;
+        }
+        v = pool_[v].left;
+      } else {
+        if (pool_[v].right == kNull) {
+          pool_[v].right = nu;
+          break;
+        }
+        v = pool_[v].right;
+      }
+    }
+    path.push_back(nu);
+  }
+  // The new point joins the inner tree of every critical node on its path
+  // (O(log_alpha n) treaps, O(1) expected writes each).
+  for (uint32_t v : path) {
+    if (pool_[v].critical) pool_[v].inner.insert(p.y, p.id);
+  }
+  bump_and_rebalance(path);
+}
+
+bool AlphaRangeTree::erase(const PPoint& p) {
+  // Locate the node holding exactly p.
+  std::vector<uint32_t> path;
+  uint32_t v = root_;
+  uint32_t target = kNull;
+  while (v != kNull) {
+    path.push_back(v);
+    asym::count_read();
+    const Node& nd = pool_[v];
+    if (nd.pt.id == p.id && nd.pt.x == p.x && nd.pt.y == p.y) {
+      target = v;
+      break;
+    }
+    v = xless(p, nd.pt) ? nd.left : nd.right;
+  }
+  if (target == kNull || pool_[target].dead) return false;
+  asym::count_write();
+  pool_[target].dead = true;
+  --live_;
+  ++dead_;
+  for (uint32_t u : path) {
+    if (pool_[u].critical) pool_[u].inner.erase(p.y, p.id);
+  }
+  if (dead_ * 2 >= live_ + dead_ && live_ + dead_ > 8) {
+    rebuild(root_, kNull, 0, root_init_);
+  }
+  return true;
+}
+
+template <typename F>
+void AlphaRangeTree::cover(uint32_t v, double yb, double yt, F&& emit) const {
+  if (v == kNull) return;
+  asym::count_read();
+  const Node& nd = pool_[v];
+  if (nd.critical) {
+    nd.inner.report_range(yb, yt, [&](double, uint32_t id) { emit(id); });
+    return;
+  }
+  if (!nd.dead && nd.pt.y >= yb && nd.pt.y <= yt) emit(nd.pt.id);
+  cover(nd.left, yb, yt, emit);
+  cover(nd.right, yb, yt, emit);
+}
+
+template <typename F>
+void AlphaRangeTree::query_rec(uint32_t v, double lo, double hi, double xl,
+                               double xr, double yb, double yt,
+                               F&& emit) const {
+  if (v == kNull) return;
+  if (hi < xl || lo > xr) return;  // disjoint (conservative value bounds)
+  asym::count_read();
+  const Node& nd = pool_[v];
+  if (lo >= xl && hi <= xr) {
+    cover(v, yb, yt, emit);
+    return;
+  }
+  if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr && nd.pt.y >= yb &&
+      nd.pt.y <= yt) {
+    emit(nd.pt.id);
+  }
+  query_rec(nd.left, lo, nd.pt.x, xl, xr, yb, yt, emit);
+  query_rec(nd.right, nd.pt.x, hi, xl, xr, yb, yt, emit);
+}
+
+std::vector<uint32_t> AlphaRangeTree::query(double xl, double xr, double yb,
+                                            double yt) const {
+  std::vector<uint32_t> out;
+  query_rec(root_, -kInf, kInf, xl, xr, yb, yt, [&](uint32_t id) {
+    asym::count_write();
+    out.push_back(id);
+  });
+  return out;
+}
+
+size_t AlphaRangeTree::query_count(double xl, double xr, double yb,
+                                   double yt) const {
+  size_t c = 0;
+  query_rec(root_, -kInf, kInf, xl, xr, yb, yt, [&](uint32_t) { ++c; });
+  return c;
+}
+
+size_t AlphaRangeTree::height() const {
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    if (v == kNull) return 0;
+    return 1 + std::max(self(self, pool_[v].left), self(self, pool_[v].right));
+  };
+  return rec(rec, root_);
+}
+
+size_t AlphaRangeTree::inner_entries() const {
+  size_t total = 0;
+  auto rec = [&](auto&& self, uint32_t v) -> void {
+    if (v == kNull) return;
+    total += pool_[v].inner.size();
+    self(self, pool_[v].left);
+    self(self, pool_[v].right);
+  };
+  rec(rec, root_);
+  return total;
+}
+
+bool AlphaRangeTree::validate() const {
+  if (root_ == kNull) return live_ == 0;
+  bool ok = true;
+  size_t live_seen = 0;
+  // Returns (weight, live count); checks BST order, critical weights, and
+  // inner-tree sizes.
+  struct R {
+    uint64_t w;
+    size_t live;
+  };
+  auto rec = [&](auto&& self, uint32_t v) -> R {
+    if (v == kNull) return {1, 0};
+    const Node& nd = pool_[v];
+    if (nd.left != kNull && !xless(pool_[nd.left].pt, nd.pt)) ok = false;
+    if (nd.right != kNull && xless(pool_[nd.right].pt, nd.pt)) ok = false;
+    R l = self(self, nd.left);
+    R r = self(self, nd.right);
+    uint64_t w = l.w + r.w;
+    size_t live = l.live + r.live + (nd.dead ? 0 : 1);
+    if (!nd.dead) ++live_seen;
+    if (nd.critical) {
+      if (nd.weight != w) ok = false;
+      if (nd.inner.size() != live) ok = false;
+      if (!nd.inner.validate()) ok = false;
+    }
+    return {w, live};
+  };
+  R root_r = rec(rec, root_);
+  if (root_r.w != root_weight_) ok = false;
+  if (live_seen != live_) ok = false;
+  return ok;
+}
+
+}  // namespace weg::augtree
+

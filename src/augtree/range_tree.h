@@ -1,0 +1,150 @@
+// 2D range trees (Sections 7.1, 7.3.4).
+//
+// StaticRangeTree — the classic baseline: a perfect outer BST over the
+// x-sorted points where *every* node carries a y-sorted inner array of all
+// points in its subtree. Built top-down from one y-sort by stable
+// partitioning (O(n log n) reads and writes — already optimal because the
+// structure itself occupies Θ(n log n) space). Queries decompose [xl, xr]
+// into O(log n) canonical subtrees and binary-search / scan each inner
+// array: O(log^2 n + k) reads, O(k) output writes.
+//
+// AlphaRangeTree — the paper's write-efficient version: inner trees (treaps)
+// are kept only at *critical* nodes (α-labeling), so
+//   * construction writes O((α + ω) n log_α n) instead of O(ω n log n),
+//   * an update touches O(log_α n) inner treaps (O(1) expected writes each),
+//   * a query may visit up to O(α log_α n) inner trees, each O(log n):
+//     O(ωk + α log_α n log n) work (Table 1, last row).
+// Balancing is reconstruction-based via the same weight-doubling rule as the
+// other α structures; critical-node inner lists are derived from their
+// critical parent's y-sorted list by an ordered filter (Appendix A), giving
+// the O((α + ω) s log_α s) rebuild bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/augtree/alpha.h"
+#include "src/augtree/priority_tree.h"  // PPoint
+#include "src/augtree/treap.h"
+
+namespace weg::augtree {
+
+class StaticRangeTree {
+ public:
+  struct Stats {
+    asym::Counts cost;
+    size_t inner_entries = 0;  // total augmentation size (Θ(n log n))
+  };
+
+  static StaticRangeTree build(const std::vector<PPoint>& pts,
+                               Stats* stats = nullptr);
+
+  // Points with xl <= x <= xr and yb <= y <= yt.
+  std::vector<uint32_t> query(double xl, double xr, double yb,
+                              double yt) const;
+  // Counting variant: binary searches only, no output writes.
+  size_t query_count(double xl, double xr, double yb, double yt) const;
+
+  size_t size() const { return n_; }
+  bool validate() const;
+
+ private:
+  // Implicit perfect BST over m_ slots (in-order, 1-based), padded with +inf
+  // keys; node p's inner array is ys_[inner_off_[p-1] .. inner_off_[p]).
+  size_t root_pos() const { return (m_ + 1) / 2; }
+
+  size_t n_ = 0, m_ = 0;
+  int height_ = 0;
+  std::vector<PPoint> by_x_;                      // rank -> point
+  std::vector<uint32_t> inner_off_;               // size m_+1
+  std::vector<std::pair<double, uint32_t>> ys_;   // (y, id) per node, sorted
+
+  template <typename F>
+  void covered(size_t pos, double yb, double yt, F&& emit) const;
+};
+
+class AlphaRangeTree {
+ public:
+  explicit AlphaRangeTree(uint64_t alpha = 2) : alpha_(alpha) {}
+
+  // Bulk construction (used for the Table 1 construction row): repeated
+  // insertion is also supported but slower.
+  static AlphaRangeTree build(const std::vector<PPoint>& pts, uint64_t alpha,
+                              asym::Counts* cost = nullptr);
+
+  void insert(const PPoint& p);
+  bool erase(const PPoint& p);
+
+  std::vector<uint32_t> query(double xl, double xr, double yb,
+                              double yt) const;
+  size_t query_count(double xl, double xr, double yb, double yt) const;
+
+  size_t size() const { return live_; }
+  size_t rebuilds() const { return rebuilds_; }
+  size_t height() const;
+  size_t inner_entries() const;  // total augmentation size (n log_α n)
+  bool validate() const;
+
+ private:
+  static constexpr uint32_t kNull = UINT32_MAX;
+
+  struct Node {
+    PPoint pt;
+    uint32_t left = kNull;
+    uint32_t right = kNull;
+    bool critical = false;
+    bool dead = false;
+    uint64_t init_weight = 0;
+    uint64_t weight = 0;
+    Treap inner;  // (y, id) of all live points in this subtree (critical only)
+  };
+
+  static bool xless(const PPoint& a, const PPoint& b) {
+    return a.x < b.x || (a.x == b.x && a.id < b.id);
+  }
+
+  // Skeleton entry used during rebuilds (dead keys are kept by subtree
+  // rebuilds and dropped by whole-tree rebuilds).
+  struct SkelEntry {
+    PPoint pt;
+    bool dead;
+  };
+  // y-sorted routing entry used while deriving inner lists (Appendix A
+  // ordered filter); carries x so routing needs no side lookups.
+  struct YX {
+    double y;
+    uint32_t id;
+    double x;
+  };
+
+  uint32_t alloc();
+  void bump_and_rebalance(const std::vector<uint32_t>& path);
+  void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
+  uint32_t build_balanced(std::vector<SkelEntry>& pts, size_t lo, size_t hi);
+  uint64_t mark_rec(uint32_t v);
+  void set_critical(uint32_t v, uint64_t w, uint64_t sw);
+  void mark_criticals(uint32_t v);
+  // Builds inner treaps for c and its critical descendants from c's y-sorted
+  // live-point list by ordered filtering (Appendix A).
+  void fill_inners(uint32_t c, std::vector<YX>& ylist);
+  void collect_inorder(uint32_t v, std::vector<SkelEntry>& entries) const;
+
+  template <typename F>
+  void cover(uint32_t v, double yb, double yt, F&& emit) const;
+  template <typename F>
+  void query_rec(uint32_t v, double lo, double hi, double xl, double xr,
+                 double yb, double yt, F&& emit) const;
+
+  uint64_t alpha_;
+  std::vector<Node> pool_;
+  std::vector<uint32_t> free_;
+  uint32_t root_ = kNull;
+  uint64_t root_weight_ = 1;
+  uint64_t root_init_ = 1;
+  size_t live_ = 0;
+  size_t dead_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace weg::augtree

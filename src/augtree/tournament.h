@@ -1,0 +1,156 @@
+// Tournament tree (Appendix A): a perfect segment tree over the x-sorted
+// point list supporting, during priority-search-tree construction,
+//   * range-argmax of priority among valid elements,
+//   * k-th valid element of a range (for medians),
+//   * deletions with *scoped* ancestor updates.
+//
+// The scoping is the write-saving trick of Appendix A: once construction
+// recursion is inside a range (x, y), all future queries are entirely inside
+// or entirely disjoint from it, so a deletion only rewrites the ancestors
+// whose segment lies inside (x, y). Summed over the construction this is
+// O(n) writes instead of O(n log n).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/asym/counters.h"
+
+namespace weg::augtree {
+
+class TournamentTree {
+ public:
+  // ys[i] is the priority of element i; all elements start valid.
+  explicit TournamentTree(const std::vector<double>& ys) {
+    n_ = ys.size();
+    m_ = 1;
+    while (m_ < std::max<size_t>(n_, 1)) m_ <<= 1;
+    best_.assign(2 * m_, kNegInf);
+    best_idx_.assign(2 * m_, kNone);
+    cnt_.assign(2 * m_, 0);
+    for (size_t i = 0; i < n_; ++i) {
+      best_[m_ + i] = ys[i];
+      best_idx_[m_ + i] = static_cast<uint32_t>(i);
+      cnt_[m_ + i] = 1;
+    }
+    for (size_t v = m_ - 1; v >= 1; --v) pull(v);
+    asym::count_read(n_);
+    asym::count_write(2 * m_);  // building the tree
+  }
+
+  size_t size() const { return n_; }
+
+  // Number of valid elements in [lo, hi).
+  size_t count_valid(size_t lo, size_t hi) const {
+    return count_rec(1, 0, m_, lo, hi);
+  }
+
+  // Index of the maximum-priority valid element in [lo, hi); kNone if none.
+  uint32_t range_argmax(size_t lo, size_t hi) const {
+    double best = kNegInf;
+    uint32_t idx = kNone;
+    argmax_rec(1, 0, m_, lo, hi, best, idx);
+    return idx;
+  }
+
+  // Index of the k-th (0-based) valid element in [lo, hi); kNone if k is out
+  // of range.
+  uint32_t kth_valid(size_t lo, size_t hi, size_t k) const {
+    if (count_valid(lo, hi) <= k) return kNone;
+    return kth_rec(1, 0, m_, lo, hi, k);
+  }
+
+  // Invalidates element i. Ancestor summaries are recomputed only while the
+  // ancestor's segment is contained in [scope_lo, scope_hi) (Appendix A).
+  void erase_scoped(size_t i, size_t scope_lo, size_t scope_hi) {
+    size_t v = m_ + i;
+    asym::count_write();
+    best_[v] = kNegInf;
+    best_idx_[v] = kNone;
+    cnt_[v] = 0;
+    size_t node_lo = i, node_hi = i + 1;
+    v >>= 1;
+    while (v >= 1) {
+      // Parent segment: double the width, aligned.
+      size_t width = node_hi - node_lo;
+      node_lo = node_lo & ~(2 * width - 1);
+      node_hi = node_lo + 2 * width;
+      if (node_lo < scope_lo || node_hi > scope_hi) break;
+      asym::count_read(2);
+      asym::count_write();
+      pull(v);
+      v >>= 1;
+    }
+  }
+
+  // Unscoped deletion (O(log n) writes), for callers without a scope.
+  void erase(size_t i) { erase_scoped(i, 0, m_); }
+
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+ private:
+  static constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+  void pull(size_t v) {
+    size_t l = 2 * v, r = 2 * v + 1;
+    cnt_[v] = cnt_[l] + cnt_[r];
+    if (best_[l] >= best_[r]) {
+      best_[v] = best_[l];
+      best_idx_[v] = best_idx_[l];
+    } else {
+      best_[v] = best_[r];
+      best_idx_[v] = best_idx_[r];
+    }
+  }
+
+  size_t count_rec(size_t v, size_t node_lo, size_t node_hi, size_t lo,
+                   size_t hi) const {
+    if (hi <= node_lo || node_hi <= lo) return 0;
+    asym::count_read();
+    if (lo <= node_lo && node_hi <= hi) return cnt_[v];
+    size_t mid = (node_lo + node_hi) / 2;
+    return count_rec(2 * v, node_lo, mid, lo, hi) +
+           count_rec(2 * v + 1, mid, node_hi, lo, hi);
+  }
+
+  void argmax_rec(size_t v, size_t node_lo, size_t node_hi, size_t lo,
+                  size_t hi, double& best, uint32_t& idx) const {
+    if (hi <= node_lo || node_hi <= lo) return;
+    asym::count_read();
+    if (lo <= node_lo && node_hi <= hi) {
+      if (best_idx_[v] != kNone && best_[v] > best) {
+        best = best_[v];
+        idx = best_idx_[v];
+      }
+      return;
+    }
+    size_t mid = (node_lo + node_hi) / 2;
+    argmax_rec(2 * v, node_lo, mid, lo, hi, best, idx);
+    argmax_rec(2 * v + 1, mid, node_hi, lo, hi, best, idx);
+  }
+
+  uint32_t kth_rec(size_t v, size_t node_lo, size_t node_hi, size_t lo,
+                   size_t hi, size_t k) const {
+    asym::count_read();
+    if (node_hi - node_lo == 1) return static_cast<uint32_t>(node_lo);
+    size_t mid = (node_lo + node_hi) / 2;
+    // Valid count of the left child restricted to [lo, hi).
+    size_t left_count;
+    if (lo <= node_lo && mid <= hi) {
+      left_count = cnt_[2 * v];  // fully covered
+    } else {
+      left_count = count_rec(2 * v, node_lo, mid, lo, hi);
+    }
+    if (k < left_count) return kth_rec(2 * v, node_lo, mid, lo, hi, k);
+    return kth_rec(2 * v + 1, mid, node_hi, lo, hi, k - left_count);
+  }
+
+  size_t n_ = 0, m_ = 1;
+  std::vector<double> best_;
+  std::vector<uint32_t> best_idx_;
+  std::vector<size_t> cnt_;
+};
+
+}  // namespace weg::augtree

@@ -1,0 +1,81 @@
+// The DAG tracing framework (Section 3.1, Definition 3.1 / Theorem 3.1).
+//
+// Given a history DAG G with root r, an element x, and a predicate
+// f(x, v) ("v is visible to x") satisfying the tracable property (a visible
+// vertex has at least one visible direct predecessor), compute
+//   S(G, x) = { v : f(x, v) and out-degree(v) = 0 }
+// in O(|R(G,x)|) work, O(D(G)) depth and O(|S(G,x)|) writes, where R is the
+// set of all visible vertices.
+//
+// Write-efficiency comes from the deterministic search-tree rule: a visible
+// vertex v is visited only from its highest-priority visible direct
+// predecessor. That check needs only reads (the DAG has constant in-degree),
+// so no visited-marks are written; the only writes are the emitted outputs.
+//
+// Graph concept (all constant-time):
+//   size_t out_degree(V v)            number of direct successors
+//   V      out_neighbor(V v, size_t k)
+//   size_t in_degree(V v)             constant-bounded
+//   V      in_neighbor(V v, size_t k)
+//   bool   higher_priority(V u, V w)  strict total order on vertices
+// Element-visibility is a callable visible(v) for the fixed element x; the
+// caller charges asym reads inside it as appropriate.
+#pragma once
+
+#include <cstddef>
+
+#include "src/parallel/parallel_for.h"
+
+namespace weg::core {
+
+namespace detail {
+
+// True iff u is the highest-priority visible direct predecessor of v.
+template <typename Graph, typename V, typename Visible>
+bool is_designated_parent(const Graph& g, V u, V v, const Visible& visible) {
+  size_t indeg = g.in_degree(v);
+  for (size_t k = 0; k < indeg; ++k) {
+    V w = g.in_neighbor(v, k);
+    if (w == u) continue;
+    if (visible(w) && g.higher_priority(w, u)) return false;
+  }
+  return true;
+}
+
+template <typename Graph, typename V, typename Visible, typename Emit>
+void trace_rec(const Graph& g, V v, const Visible& visible, const Emit& emit,
+               size_t depth_budget) {
+  size_t deg = g.out_degree(v);
+  if (deg == 0) {
+    emit(v);
+    return;
+  }
+  // Fork over the (constantly many) children that we are designated to
+  // visit. Sequential below a small depth budget to bound task overhead.
+  auto visit_child = [&](size_t k) {
+    V c = g.out_neighbor(v, k);
+    if (visible(c) && is_designated_parent(g, v, c, visible)) {
+      trace_rec(g, c, visible, emit, depth_budget > 0 ? depth_budget - 1 : 0);
+    }
+  };
+  if (deg == 1 || depth_budget == 0) {
+    for (size_t k = 0; k < deg; ++k) visit_child(k);
+  } else {
+    parallel::parallel_for(0, deg, visit_child, 1);
+  }
+}
+
+}  // namespace detail
+
+// Traces element x (captured in `visible`) through the DAG from `root`,
+// calling emit(v) on every visible sink. `parallel_depth` bounds the number
+// of DAG levels that fork tasks (deeper levels run sequentially); pass 0 for
+// a fully sequential trace.
+template <typename Graph, typename V, typename Visible, typename Emit>
+void dag_trace(const Graph& g, V root, const Visible& visible,
+               const Emit& emit, size_t parallel_depth = 0) {
+  if (!visible(root)) return;
+  detail::trace_rec(g, root, visible, emit, parallel_depth);
+}
+
+}  // namespace weg::core

@@ -1,0 +1,37 @@
+// The prefix-doubling driver (Section 3.2). A randomized incremental
+// algorithm over n objects is split into an initial round of n / log^2 n
+// objects processed by the standard (write-inefficient) algorithm, followed
+// by O(log log n) incremental rounds, the i-th processing the next
+// 2^{i-1} * n / log^2 n objects — i.e., each round doubles the structure.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace weg::core {
+
+// Half-open object ranges [begin, end) for each round. `initial` defaults to
+// max(1, n / log^2 n) per the paper; rounds then double until n is covered.
+inline std::vector<std::pair<size_t, size_t>> prefix_doubling_rounds(
+    size_t n, size_t initial = 0) {
+  std::vector<std::pair<size_t, size_t>> rounds;
+  if (n == 0) return rounds;
+  if (initial == 0) {
+    double lg = std::log2(static_cast<double>(n) + 1.0);
+    initial = static_cast<size_t>(static_cast<double>(n) / (lg * lg));
+    if (initial == 0) initial = 1;
+  }
+  initial = std::min(initial, n);
+  size_t done = initial;
+  rounds.emplace_back(0, initial);
+  while (done < n) {
+    size_t next = std::min(n, 2 * done);
+    rounds.emplace_back(done, next);
+    done = next;
+  }
+  return rounds;
+}
+
+}  // namespace weg::core

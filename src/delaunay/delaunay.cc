@@ -1,0 +1,236 @@
+#include "src/delaunay/delaunay.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "src/core/prefix_doubling.h"
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/priority_write.h"
+
+namespace weg::delaunay {
+
+namespace {
+
+constexpr int64_t kGrid = int64_t{1} << 24;  // coordinates in [0, 2^24)
+
+struct PerPoint {
+  uint32_t seed = kNoTri;
+  std::vector<uint32_t> dead;
+  std::vector<Mesh::Boundary> boundary;
+  bool won = false;
+};
+
+}  // namespace
+
+std::vector<geom::GridPoint> quantize(const std::vector<geom::Point2>& pts,
+                                      size_t* duplicates_dropped) {
+  double minx = 0, maxx = 1, miny = 0, maxy = 1;
+  if (!pts.empty()) {
+    minx = maxx = pts[0][0];
+    miny = maxy = pts[0][1];
+    for (const auto& p : pts) {
+      minx = std::min(minx, p[0]);
+      maxx = std::max(maxx, p[0]);
+      miny = std::min(miny, p[1]);
+      maxy = std::max(maxy, p[1]);
+    }
+  }
+  double sx = (maxx > minx) ? (static_cast<double>(kGrid - 1) / (maxx - minx))
+                            : 0.0;
+  double sy = (maxy > miny) ? (static_cast<double>(kGrid - 1) / (maxy - miny))
+                            : 0.0;
+  std::vector<geom::GridPoint> out;
+  out.reserve(pts.size());
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(2 * pts.size());
+  size_t dropped = 0;
+  for (const auto& p : pts) {
+    int64_t x = static_cast<int64_t>(std::llround((p[0] - minx) * sx));
+    int64_t y = static_cast<int64_t>(std::llround((p[1] - miny) * sy));
+    uint64_t key = (static_cast<uint64_t>(x) << 32) | static_cast<uint64_t>(y);
+    if (!seen.insert(key).second) {
+      ++dropped;
+      continue;
+    }
+    out.push_back(
+        geom::GridPoint{x, y, static_cast<uint32_t>(out.size())});
+  }
+  if (duplicates_dropped) *duplicates_dropped = dropped;
+  return out;
+}
+
+std::unique_ptr<Mesh> triangulate(const std::vector<geom::GridPoint>& pts,
+                                  Mode mode, DTStats* stats) {
+  size_t n = pts.size();
+  DTStats local{};
+  asym::Region region;
+
+  // Vertex array: points then the three bounding vertices (far outside the
+  // grid but within the exact-predicate coordinate bound).
+  std::vector<geom::GridPoint> verts = pts;
+  uint32_t ba = static_cast<uint32_t>(n), bb = ba + 1, bc = ba + 2;
+  verts.push_back(geom::GridPoint{-3 * kGrid, -3 * kGrid, ba});
+  verts.push_back(geom::GridPoint{7 * kGrid, -3 * kGrid, bb});
+  verts.push_back(geom::GridPoint{-3 * kGrid, 7 * kGrid, bc});
+
+  auto mesh = std::make_unique<Mesh>(std::move(verts), 12 * n + 64);
+  mesh->init_bounding(ba, bb, bc);
+
+  std::vector<std::pair<size_t, size_t>> batches;
+  if (mode == Mode::kWriteEfficient) {
+    batches = core::prefix_doubling_rounds(n);
+  } else if (n > 0) {
+    batches.emplace_back(0, n);
+  }
+  local.prefix_rounds = batches.size();
+
+  std::vector<PerPoint> state(n);
+  std::atomic<uint64_t> history_steps{0};
+  std::atomic<uint64_t> cavity_total{0};
+  std::atomic<size_t> retries{0};
+
+  for (auto [blo, bhi] : batches) {
+    std::vector<uint32_t> active;
+    active.reserve(bhi - blo);
+    for (size_t i = blo; i < bhi; ++i) {
+      active.push_back(static_cast<uint32_t>(i));
+      state[i].seed = mesh->root();
+    }
+    size_t inserted_in_batch = 0;
+    while (!active.empty()) {
+      ++local.sub_rounds;
+      // Only a prefix of the active points proportional to the current mesh
+      // size attempts insertion this round (the standard deterministic-
+      // reservation prefix): waiting points do no work and incur no traffic,
+      // and their eventual descent visits the same history nodes regardless
+      // of when it runs, so the per-mode write accounting is unchanged.
+      size_t attempt = std::min(
+          active.size(),
+          std::max<size_t>(64, 2 * (blo + inserted_in_batch) + 2));
+      parallel::parallel_for(0, attempt, [&](size_t i) {
+        uint32_t p = active[i];
+        PerPoint& st = state[p];
+        uint64_t steps = 0;
+        uint32_t start = st.seed;
+        uint32_t found = mesh->descend(p, start, [&](uint32_t) {
+          ++steps;
+          if (mode == Mode::kBaseline) {
+            // Algorithm 2: the point is rewritten into the encroached set of
+            // the next triangle at every step of its descent.
+            asym::count_write();
+          }
+        });
+        if (found == kNoTri) {
+          // Defensive: restart from the root (cannot happen for consistent
+          // predicates; kept for robustness).
+          found = mesh->descend(p, mesh->root(), [&](uint32_t) { ++steps; });
+          assert(found != kNoTri);
+        }
+        history_steps.fetch_add(steps, std::memory_order_relaxed);
+        if (mode == Mode::kWriteEfficient && found != start) {
+          // DAG tracing: one write to record the new placement.
+          asym::count_write();
+        }
+        st.seed = found;
+        mesh->cavity(p, st.seed, st.dead, st.boundary);
+      });
+      // Phase 2: reserve cavity + boundary outside triangles.
+      parallel::parallel_for(0, attempt, [&](size_t i) {
+        uint32_t p = active[i];
+        PerPoint& st = state[p];
+        for (uint32_t t : st.dead) {
+          asym::count_write();
+          parallel::write_min(&mesh->tri(t).reserve, p);
+        }
+        for (const auto& b : st.boundary) {
+          if (b.outside != kNoTri) {
+            asym::count_write();
+            parallel::write_min(&mesh->tri(b.outside).reserve, p);
+          }
+        }
+      });
+      // Phase 3: winners commit.
+      std::vector<uint8_t> done(attempt, 0);
+      parallel::parallel_for(0, attempt, [&](size_t i) {
+        uint32_t p = active[i];
+        PerPoint& st = state[p];
+        bool win = true;
+        for (uint32_t t : st.dead) {
+          asym::count_read();
+          if (mesh->tri(t).reserve.load(std::memory_order_acquire) != p) {
+            win = false;
+            break;
+          }
+        }
+        if (win) {
+          for (const auto& b : st.boundary) {
+            asym::count_read();
+            if (b.outside != kNoTri &&
+                mesh->tri(b.outside).reserve.load(std::memory_order_acquire) !=
+                    p) {
+              win = false;
+              break;
+            }
+          }
+        }
+        if (!win) {
+          retries.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        std::vector<uint32_t> fresh;
+        mesh->retriangulate(p, st.dead, st.boundary, fresh);
+        cavity_total.fetch_add(st.dead.size(), std::memory_order_relaxed);
+        done[i] = 1;
+      });
+      // Phase 4: clear reservations and compact the active set.
+      parallel::parallel_for(0, attempt, [&](size_t i) {
+        uint32_t p = active[i];
+        PerPoint& st = state[p];
+        for (uint32_t t : st.dead) {
+          mesh->tri(t).reserve.store(UINT32_MAX, std::memory_order_relaxed);
+        }
+        for (const auto& b : st.boundary) {
+          if (b.outside != kNoTri) {
+            mesh->tri(b.outside).reserve.store(UINT32_MAX,
+                                               std::memory_order_relaxed);
+          }
+        }
+      });
+      std::vector<uint32_t> next;
+      next.reserve(active.size());
+      for (size_t i = 0; i < attempt; ++i) {
+        if (!done[i]) {
+          next.push_back(active[i]);
+        } else {
+          ++inserted_in_batch;
+        }
+      }
+      next.insert(next.end(), active.begin() + static_cast<long>(attempt),
+                  active.end());
+      active.swap(next);
+    }
+  }
+
+  local.cost = region.delta();
+  local.history_steps = history_steps.load();
+  local.cavity_triangles = cavity_total.load();
+  local.retries = retries.load();
+  local.triangles_created = mesh->num_created();
+  local.points_inserted = n;
+  if (stats) *stats = local;
+  return mesh;
+}
+
+std::unique_ptr<Mesh> triangulate(const std::vector<geom::Point2>& pts,
+                                  Mode mode, DTStats* stats) {
+  size_t dropped = 0;
+  auto grid = quantize(pts, &dropped);
+  auto mesh = triangulate(grid, mode, stats);
+  if (stats) stats->duplicates_dropped = dropped;
+  return mesh;
+}
+
+}  // namespace weg::delaunay

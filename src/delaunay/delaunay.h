@@ -1,0 +1,69 @@
+// Planar Delaunay triangulation (Section 5, Theorem 5.1).
+//
+// Both variants run the same deterministic-reservation parallel engine (the
+// formulation of BGSS [16] used in the authors' benchmark suite): in every
+// sub-round each yet-uninserted point locates an alive triangle its
+// insertion conflicts with, computes its cavity, reserves the cavity plus
+// the boundary's outside triangles with priority-writes, and the points
+// that win all reservations commit (retriangulate) atomically. The final
+// mesh is the unique Delaunay triangulation of the (symbolically perturbed)
+// grid points regardless of scheduling.
+//
+// The two modes differ exactly where the paper's algorithms differ:
+//  * kBaseline (Algorithm 2): every point is "stored" in the encroached
+//    set E(t) of its current triangle and *moves down* the history DAG as
+//    triangles are replaced — every history step the point takes is a
+//    large-memory write, Θ(n log n) writes in total. All n points are
+//    processed in one batch.
+//  * kWriteEfficient (Theorem 5.1): prefix doubling — an initial batch of
+//    n / log^2 n points, then doubling batches. A point entering a batch
+//    traces the history structure with *reads only* (Section 3.1) and
+//    performs one write to record its placement; subsequent displacements
+//    (expected O(1) per point, by the E[C] = O(m) dependence bound in the
+//    proof of Theorem 5.1) cost one write each. Total O(n) writes.
+//
+// Inputs are quantized to a 2^24 grid (exact 128-bit predicates with
+// symbolic perturbation; see geom/predicates.h), and duplicate grid points
+// are dropped. The caller supplies points in the random insertion order.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/delaunay/mesh.h"
+#include "src/geom/point.h"
+
+namespace weg::delaunay {
+
+enum class Mode { kBaseline, kWriteEfficient };
+
+struct DTStats {
+  asym::Counts cost;
+  size_t prefix_rounds = 0;      // batches (1 for the baseline)
+  size_t sub_rounds = 0;         // reservation rounds across all batches
+  size_t retries = 0;            // failed commit attempts
+  size_t triangles_created = 0;  // history size
+  uint64_t history_steps = 0;    // total descent steps (|R| proxy, Fig. 1)
+  uint64_t cavity_triangles = 0; // total cavity sizes (|S| proxy, Fig. 1)
+  size_t points_inserted = 0;
+  size_t duplicates_dropped = 0;
+};
+
+// Quantizes points into the [0, 2^24) grid (scaled to the bounding box) and
+// drops duplicates, preserving first-occurrence order; ids are assigned
+// 0..m-1 in that order.
+std::vector<geom::GridPoint> quantize(const std::vector<geom::Point2>& pts,
+                                      size_t* duplicates_dropped = nullptr);
+
+// Triangulates grid points (ids must be 0..n-1 in insertion order). The
+// returned mesh's vertex array has three bounding vertices appended at the
+// end.
+std::unique_ptr<Mesh> triangulate(const std::vector<geom::GridPoint>& pts,
+                                  Mode mode, DTStats* stats = nullptr);
+
+// Convenience: quantize + triangulate.
+std::unique_ptr<Mesh> triangulate(const std::vector<geom::Point2>& pts,
+                                  Mode mode, DTStats* stats = nullptr);
+
+}  // namespace weg::delaunay

@@ -1,0 +1,188 @@
+#include "src/delaunay/mesh.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace weg::delaunay {
+
+Mesh::Mesh(std::vector<geom::GridPoint> vertices, size_t capacity)
+    : verts_(std::move(vertices)), pool_(capacity) {}
+
+bool Mesh::encroaches(uint32_t p, uint32_t t) const {
+  asym::count_read();
+  const Triangle& tr = pool_[t];
+  return geom::in_circle_sos(verts_[tr.v[0]], verts_[tr.v[1]],
+                             verts_[tr.v[2]], verts_[p]);
+}
+
+uint32_t Mesh::init_bounding(uint32_t a, uint32_t b, uint32_t c) {
+  if (geom::orient2d_sos(verts_[a], verts_[b], verts_[c]) < 0) std::swap(b, c);
+  uint32_t t = alloc();
+  Triangle& tr = pool_[t];
+  tr.v[0] = a;
+  tr.v[1] = b;
+  tr.v[2] = c;
+  tr.alive.store(true, std::memory_order_release);
+  asym::count_write();
+  root_ = t;
+  return t;
+}
+
+void Mesh::cavity(uint32_t p, uint32_t seed, std::vector<uint32_t>& dead,
+                  std::vector<Boundary>& boundary) const {
+  dead.clear();
+  boundary.clear();
+  auto in_dead = [&](uint32_t t) {
+    return std::find(dead.begin(), dead.end(), t) != dead.end();
+  };
+  // BFS over alive encroached neighbors.
+  dead.push_back(seed);
+  for (size_t i = 0; i < dead.size(); ++i) {
+    const Triangle& tr = pool_[dead[i]];
+    for (int e = 0; e < 3; ++e) {
+      uint32_t nb = tr.nbr[e];
+      if (nb == kNoTri || in_dead(nb)) continue;
+      if (encroaches(p, nb)) dead.push_back(nb);
+    }
+  }
+  // Star-shape repair: every boundary edge (u, w) must be CCW-visible from
+  // p; absorb offending outside triangles (rare, only under degeneracy).
+  while (true) {
+    boundary.clear();
+    bool repaired = false;
+    for (uint32_t t : dead) {
+      const Triangle& tr = pool_[t];
+      for (int e = 0; e < 3 && !repaired; ++e) {
+        uint32_t nb = tr.nbr[e];
+        if (nb != kNoTri && in_dead(nb)) continue;
+        uint32_t u = tr.v[e], w = tr.v[(e + 1) % 3];
+        if (geom::orient2d_sos(verts_[u], verts_[w], verts_[p]) <= 0) {
+          // p not strictly left of u->w: absorb the outside triangle.
+          assert(nb != kNoTri && "point escaped the bounding triangle");
+          dead.push_back(nb);
+          repaired = true;
+          break;
+        }
+        int oe = -1;
+        if (nb != kNoTri) {
+          const Triangle& ot = pool_[nb];
+          for (int k = 0; k < 3; ++k) {
+            if (ot.v[k] == w && ot.v[(k + 1) % 3] == u) oe = k;
+          }
+          assert(oe >= 0);
+        }
+        boundary.push_back(Boundary{u, w, nb, oe});
+      }
+      if (repaired) break;
+    }
+    if (!repaired) break;
+  }
+  // Order the boundary into a cycle (w of one edge == u of the next).
+  std::vector<Boundary> cycle;
+  cycle.reserve(boundary.size());
+  cycle.push_back(boundary[0]);
+  while (cycle.size() < boundary.size()) {
+    uint32_t want = cycle.back().w;
+    bool found = false;
+    for (const Boundary& b : boundary) {
+      if (b.u == want) {
+        cycle.push_back(b);
+        found = true;
+        break;
+      }
+    }
+    assert(found && "cavity boundary is not a simple cycle");
+    if (!found) break;
+  }
+  boundary.swap(cycle);
+}
+
+void Mesh::retriangulate(uint32_t p, const std::vector<uint32_t>& dead,
+                         const std::vector<Boundary>& boundary,
+                         std::vector<uint32_t>& fresh) {
+  size_t k = boundary.size();
+  fresh.clear();
+  fresh.reserve(k);
+  for (size_t i = 0; i < k; ++i) fresh.push_back(alloc());
+  assert(fresh.back() < pool_.size() && "triangle pool exhausted");
+  for (size_t i = 0; i < k; ++i) {
+    const Boundary& b = boundary[i];
+    Triangle& nt = pool_[fresh[i]];
+    nt.v[0] = b.u;
+    nt.v[1] = b.w;
+    nt.v[2] = p;
+    nt.nbr[0] = b.outside;
+    nt.nbr[1] = fresh[(i + 1) % k];  // edge (w, p)
+    nt.nbr[2] = fresh[(i + k - 1) % k];  // edge (p, u)
+    nt.children.clear();
+    asym::count_write(2);  // vertex + neighbor records
+    if (b.outside != kNoTri) {
+      pool_[b.outside].nbr[b.outside_edge] = fresh[i];
+      asym::count_write();
+    }
+    nt.alive.store(true, std::memory_order_release);
+  }
+  for (uint32_t t : dead) {
+    Triangle& tr = pool_[t];
+    tr.children = fresh;  // all-to-all history linking (see header)
+    tr.alive.store(false, std::memory_order_release);
+    asym::count_write();
+  }
+}
+
+std::vector<uint32_t> Mesh::alive_triangles() const {
+  std::vector<uint32_t> out;
+  uint32_t n = next_.load(std::memory_order_acquire);
+  for (uint32_t t = 0; t < n; ++t) {
+    if (pool_[t].alive.load(std::memory_order_relaxed)) out.push_back(t);
+  }
+  return out;
+}
+
+bool Mesh::validate(bool check_delaunay,
+                    const std::vector<uint32_t>* check_points) const {
+  auto alive = alive_triangles();
+  size_t nb_verts = 3;  // bounding vertices are the last three
+  uint32_t bound_lo = static_cast<uint32_t>(verts_.size() - nb_verts);
+  for (uint32_t t : alive) {
+    const Triangle& tr = pool_[t];
+    // Orientation.
+    if (geom::orient2d_sos(verts_[tr.v[0]], verts_[tr.v[1]],
+                           verts_[tr.v[2]]) <= 0) {
+      return false;
+    }
+    // Neighbor symmetry.
+    for (int e = 0; e < 3; ++e) {
+      uint32_t nb = tr.nbr[e];
+      if (nb == kNoTri) continue;
+      if (!pool_[nb].alive.load(std::memory_order_relaxed)) return false;
+      uint32_t u = tr.v[e], w = tr.v[(e + 1) % 3];
+      bool ok = false;
+      for (int k = 0; k < 3; ++k) {
+        if (pool_[nb].v[k] == w && pool_[nb].v[(k + 1) % 3] == u &&
+            pool_[nb].nbr[k] == t) {
+          ok = true;
+        }
+      }
+      if (!ok) return false;
+    }
+  }
+  if (check_delaunay && check_points) {
+    for (uint32_t t : alive) {
+      const Triangle& tr = pool_[t];
+      bool touches_bounding = tr.v[0] >= bound_lo || tr.v[1] >= bound_lo ||
+                              tr.v[2] >= bound_lo;
+      if (touches_bounding) continue;
+      for (uint32_t p : *check_points) {
+        if (p == tr.v[0] || p == tr.v[1] || p == tr.v[2]) continue;
+        if (geom::in_circle_sos(verts_[tr.v[0]], verts_[tr.v[1]],
+                                verts_[tr.v[2]], verts_[p])) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace weg::delaunay

@@ -1,0 +1,55 @@
+// Geometric point types. The Delaunay module works on integer grid points
+// (exact predicates via 128-bit arithmetic); k-d trees and range structures
+// work on k-dimensional double points.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace weg::geom {
+
+// 2D point on an integer grid (coordinates must satisfy |x|,|y| < 2^30 so
+// that the in-circle determinant fits in 128 bits; see predicates.h).
+struct GridPoint {
+  int64_t x = 0;
+  int64_t y = 0;
+  uint32_t id = 0;  // distinct per point; used for symbolic perturbation
+
+  friend bool operator==(const GridPoint& a, const GridPoint& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// k-dimensional double point.
+template <int K>
+struct PointK {
+  std::array<double, K> coords{};
+
+  double operator[](int d) const { return coords[static_cast<size_t>(d)]; }
+  double& operator[](int d) { return coords[static_cast<size_t>(d)]; }
+
+  friend bool operator==(const PointK& a, const PointK& b) {
+    return a.coords == b.coords;
+  }
+};
+
+using Point2 = PointK<2>;
+using Point3 = PointK<3>;
+
+template <int K>
+double squared_distance(const PointK<K>& a, const PointK<K>& b) {
+  double s = 0;
+  for (int d = 0; d < K; ++d) {
+    double diff = a[d] - b[d];
+    s += diff * diff;
+  }
+  return s;
+}
+
+template <int K>
+double distance(const PointK<K>& a, const PointK<K>& b) {
+  return std::sqrt(squared_distance(a, b));
+}
+
+}  // namespace weg::geom

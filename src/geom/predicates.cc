@@ -1,0 +1,146 @@
+#include "src/geom/predicates.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cstdint>
+
+namespace weg::geom {
+
+namespace {
+
+int sign_of(int128 v) { return v > 0 ? 1 : (v < 0 ? -1 : 0); }
+
+int128 orient_det(const GridPoint& a, const GridPoint& b, const GridPoint& c) {
+  int128 abx = b.x - a.x, aby = b.y - a.y;
+  int128 acx = c.x - a.x, acy = c.y - a.y;
+  return abx * acy - aby * acx;
+}
+
+// --- SoS machinery for orient2d ---------------------------------------------
+//
+// Infinitesimal a_i (x-perturbation of point id i) has exponent 2*i, b_i
+// (y-perturbation) exponent 2*i + 1, under a super-exponential weight scale
+// (think eps^{4^e}), so a monomial's magnitude is compared by its sorted
+// exponent list, descending, lexicographically: fewer/lower exponents =
+// larger magnitude. The multilinear expansion of the orientation determinant
+// in the perturbations has these 13 terms (derived in predicates.h header
+// comment's scheme; D = exact determinant):
+//   1                     : D
+//   a1 : y2-y3   a2 : y3-y1   a3 : y1-y2
+//   b1 : x3-x2   b2 : x1-x3   b3 : x2-x1
+//   a1b2:+1  a1b3:-1  a2b1:-1  a2b3:+1  a3b1:+1  a3b2:-1
+// Terms are evaluated from largest magnitude down; the first nonzero
+// coefficient decides. The +-1 coefficients guarantee termination.
+
+struct SosTerm {
+  // Exponents of the (at most two) infinitesimals in this monomial, sorted
+  // descending; kNone for unused slots. Smaller-exponent monomials are larger.
+  int64_t e0, e1;
+  int128 coeff;
+};
+
+constexpr int64_t kNone = -1;
+
+// Magnitude order: m1 "larger" than m2 if its sorted-descending exponent list
+// is lexicographically smaller (comparing missing entries as -inf, i.e., a
+// shorter list is larger when prefixes agree).
+bool larger_magnitude(const SosTerm& t1, const SosTerm& t2) {
+  if (t1.e0 != t2.e0) return t1.e0 < t2.e0;
+  return t1.e1 < t2.e1;
+}
+
+int orient2d_sos_impl(const GridPoint& p1, const GridPoint& p2,
+                      const GridPoint& p3) {
+  auto ax = [](const GridPoint& p) { return 2 * static_cast<int64_t>(p.id); };
+  auto by = [](const GridPoint& p) {
+    return 2 * static_cast<int64_t>(p.id) + 1;
+  };
+  std::array<SosTerm, 13> terms = {{
+      {kNone, kNone, orient_det(p1, p2, p3)},
+      {ax(p1), kNone, static_cast<int128>(p2.y) - p3.y},
+      {ax(p2), kNone, static_cast<int128>(p3.y) - p1.y},
+      {ax(p3), kNone, static_cast<int128>(p1.y) - p2.y},
+      {by(p1), kNone, static_cast<int128>(p3.x) - p2.x},
+      {by(p2), kNone, static_cast<int128>(p1.x) - p3.x},
+      {by(p3), kNone, static_cast<int128>(p2.x) - p1.x},
+      {std::max(ax(p1), by(p2)), std::min(ax(p1), by(p2)), 1},
+      {std::max(ax(p1), by(p3)), std::min(ax(p1), by(p3)), -1},
+      {std::max(ax(p2), by(p1)), std::min(ax(p2), by(p1)), -1},
+      {std::max(ax(p2), by(p3)), std::min(ax(p2), by(p3)), 1},
+      {std::max(ax(p3), by(p1)), std::min(ax(p3), by(p1)), 1},
+      {std::max(ax(p3), by(p2)), std::min(ax(p3), by(p2)), -1},
+  }};
+  std::sort(terms.begin() + 1, terms.end(),
+            [](const SosTerm& x, const SosTerm& y) {
+              return larger_magnitude(x, y);
+            });
+  for (const SosTerm& t : terms) {
+    if (t.coeff != 0) return sign_of(t.coeff);
+  }
+  return 0;  // unreachable for distinct ids
+}
+
+}  // namespace
+
+int orient2d_exact(const GridPoint& a, const GridPoint& b, const GridPoint& c) {
+  return sign_of(orient_det(a, b, c));
+}
+
+int orient2d_sos(const GridPoint& a, const GridPoint& b, const GridPoint& c) {
+  assert(!(a.id == b.id || b.id == c.id || a.id == c.id));
+  return orient2d_sos_impl(a, b, c);
+}
+
+int in_circle_exact(const GridPoint& a, const GridPoint& b, const GridPoint& c,
+                    const GridPoint& d) {
+  // 3x3 determinant of rows (p - d, |p - d|^2) for p in {a, b, c}.
+  // With |coords| < 2^29, diffs < 2^30, lifts < 2^61, each of the six
+  // products < 2^121, so the sum fits comfortably in 128 bits.
+  int128 adx = a.x - d.x, ady = a.y - d.y;
+  int128 bdx = b.x - d.x, bdy = b.y - d.y;
+  int128 cdx = c.x - d.x, cdy = c.y - d.y;
+  int128 alift = adx * adx + ady * ady;
+  int128 blift = bdx * bdx + bdy * bdy;
+  int128 clift = cdx * cdx + cdy * cdy;
+  int128 det = alift * (bdx * cdy - bdy * cdx) -
+               blift * (adx * cdy - ady * cdx) +
+               clift * (adx * bdy - ady * bdx);
+  return sign_of(det);
+}
+
+bool in_circle_sos(const GridPoint& a, const GridPoint& b, const GridPoint& c,
+                   const GridPoint& d) {
+  int s = in_circle_exact(a, b, c, d);
+  if (s != 0) return s > 0;
+  // Cocircular: perturb lifts by eps_id, larger for smaller id. The first
+  // point in increasing id order whose orientation coefficient is nonzero
+  // decides (see header). Coefficients:
+  //   a: +orient(d,b,c)  b: +orient(d,c,a)  c: +orient(d,a,b)
+  //   d: -orient(a,b,c)
+  struct Cand {
+    uint32_t id;
+    int coeff;
+  };
+  std::array<Cand, 4> cands = {{
+      {a.id, orient2d_exact(d, b, c)},
+      {b.id, orient2d_exact(d, c, a)},
+      {c.id, orient2d_exact(d, a, b)},
+      {d.id, -orient2d_exact(a, b, c)},
+  }};
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& x, const Cand& y) { return x.id < y.id; });
+  for (const Cand& cd : cands) {
+    if (cd.coeff != 0) return cd.coeff > 0;
+  }
+  // All four points collinear: no circle even symbolically; treat as outside.
+  return false;
+}
+
+bool in_triangle_sos(const GridPoint& a, const GridPoint& b,
+                     const GridPoint& c, const GridPoint& d) {
+  return orient2d_sos(a, b, d) > 0 && orient2d_sos(b, c, d) > 0 &&
+         orient2d_sos(c, a, d) > 0;
+}
+
+}  // namespace weg::geom

@@ -1,0 +1,84 @@
+#include "src/hull/hull.h"
+
+#include <algorithm>
+
+#include "src/primitives/sort.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg::hull {
+
+namespace {
+
+double cross(const geom::Point2& o, const geom::Point2& a,
+             const geom::Point2& b) {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+}  // namespace
+
+std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
+                                  SortMode mode, HullStats* stats) {
+  asym::Region region;
+  size_t n = pts.size();
+  std::vector<uint32_t> order;
+  if (mode == SortMode::kWriteEfficient) {
+    std::vector<uint64_t> keys(n);
+    for (size_t i = 0; i < n; ++i) keys[i] = sort::double_to_sortable(pts[i][0]);
+    asym::count_read(n);
+    order = sort::incremental_sort_we_order(keys);
+    // The chain needs (x, y)-lexicographic order; fix equal-x runs locally.
+    size_t i = 0;
+    while (i < order.size()) {
+      size_t j = i + 1;
+      asym::count_read();
+      while (j < order.size() && pts[order[j]][0] == pts[order[i]][0]) ++j;
+      if (j - i > 1) {
+        std::sort(order.begin() + static_cast<long>(i),
+                  order.begin() + static_cast<long>(j),
+                  [&](uint32_t a, uint32_t b) { return pts[a][1] < pts[b][1]; });
+        asym::count_write(j - i);
+      }
+      i = j;
+    }
+  } else {
+    order.resize(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    asym::count_read(n);
+    primitives::sort_inplace(order, [&](uint32_t a, uint32_t b) {
+      return pts[a][0] < pts[b][0] ||
+             (pts[a][0] == pts[b][0] && pts[a][1] < pts[b][1]);
+    });
+  }
+  // Andrew's monotone chain (Graham scan over the sorted order): each point
+  // is pushed once and popped at most once — O(n) reads and writes.
+  std::vector<uint32_t> hull;
+  if (n >= 2) {
+    auto build_chain = [&](auto begin, auto end) {
+      size_t start = hull.size();
+      for (auto it = begin; it != end; ++it) {
+        uint32_t idx = *it;
+        asym::count_read();
+        while (hull.size() >= start + 2 &&
+               cross(pts[hull[hull.size() - 2]], pts[hull.back()],
+                     pts[idx]) <= 0) {
+          hull.pop_back();
+        }
+        asym::count_write();
+        hull.push_back(idx);
+      }
+    };
+    build_chain(order.begin(), order.end());
+    hull.pop_back();  // last point repeats as the start of the upper chain
+    build_chain(order.rbegin(), order.rend());
+    hull.pop_back();
+  } else {
+    hull = order;
+  }
+  if (stats) {
+    stats->cost = region.delta();
+    stats->hull_size = hull.size();
+  }
+  return hull;
+}
+
+}  // namespace weg::hull

@@ -1,0 +1,30 @@
+// Planar convex hull (Section 2.2): sort the points by x, then Graham's
+// scan. With the write-efficient sorter the whole construction performs
+// O(n log n + ωn) work — O(n) writes — versus Θ(n log n) writes when the
+// sort is a standard mergesort (the classic baseline). The scan itself is
+// O(n) reads and writes (each point is pushed/popped at most once).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/geom/point.h"
+
+namespace weg::hull {
+
+enum class SortMode { kClassic, kWriteEfficient };
+
+struct HullStats {
+  asym::Counts cost;
+  size_t hull_size = 0;
+};
+
+// Returns the indices of the convex hull vertices in counterclockwise
+// order, starting from the leftmost point. Collinear boundary points are
+// excluded.
+std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
+                                  SortMode mode = SortMode::kWriteEfficient,
+                                  HullStats* stats = nullptr);
+
+}  // namespace weg::hull

@@ -1,0 +1,581 @@
+#include "src/kdtree/dynamic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "src/primitives/random.h"
+
+namespace weg::kdtree {
+
+// ---------------------------------------------------------------------------
+// LogForest
+// ---------------------------------------------------------------------------
+
+template <int K>
+KdTree<K> LogForest<K>::build(std::vector<Point> pts) {
+  // Below this size the classic builder is cheaper (few levels, and the
+  // p-batched machinery has per-batch overheads); the write savings of the
+  // p-batched builder only materialize on the large levels, which dominate
+  // the forest's total cost anyway.
+  constexpr size_t kPBatchedThreshold = 512;
+  if (mode_ == RebuildMode::kPBatched && pts.size() >= kPBatchedThreshold) {
+    // The p-batched constructor expects a random insertion order; shuffle in
+    // one linear pass (counted).
+    asym::count_read(pts.size());
+    asym::count_write(pts.size());
+    primitives::Rng rng(0x5eedULL + pts.size());
+    primitives::shuffle(pts, rng);
+    return PBatchedBuilder<K>::build(pts, /*p=*/0, leaf_size_);
+  }
+  return KdTree<K>::build_classic(std::move(pts), leaf_size_);
+}
+
+template <int K>
+void LogForest<K>::insert(const Point& p) {
+  // Gather the carry chain: level 0, 1, ... while occupied.
+  std::vector<Point> pts{p};
+  asym::count_write();
+  size_t lvl = 0;
+  while (lvl < levels_.size() && levels_[lvl].used) {
+    Level& L = levels_[lvl];
+    asym::count_read(L.tree.size());
+    for (size_t i = 0; i < L.tree.size(); ++i) {
+      if (L.alive[i]) pts.push_back(L.tree.points()[i]);
+    }
+    dead_ -= L.dead;
+    L = Level{};
+    ++lvl;
+  }
+  if (lvl >= levels_.size()) levels_.resize(lvl + 1);
+  Level& dst = levels_[lvl];
+  dst.tree = build(std::move(pts));
+  dst.alive.assign(dst.tree.size(), 1);
+  dst.dead = 0;
+  dst.used = true;
+  ++live_;
+}
+
+template <int K>
+bool LogForest<K>::erase(const Point& p) {
+  for (Level& L : levels_) {
+    if (!L.used) continue;
+    size_t i = L.tree.find(p);  // O(log n) descent
+    if (i == SIZE_MAX || !L.alive[i]) continue;
+    asym::count_write();
+    L.alive[i] = 0;
+    ++L.dead;
+    ++dead_;
+    --live_;
+    if (dead_ * 2 >= live_ + dead_ && live_ + dead_ > 8) {
+      rebuild_from(flatten_alive());
+    }
+    return true;
+  }
+  return false;
+}
+
+template <int K>
+std::vector<typename LogForest<K>::Point> LogForest<K>::flatten_alive() const {
+  std::vector<Point> out;
+  out.reserve(live_);
+  for (const Level& L : levels_) {
+    if (!L.used) continue;
+    asym::count_read(L.tree.size());
+    for (size_t i = 0; i < L.tree.size(); ++i) {
+      if (L.alive[i]) out.push_back(L.tree.points()[i]);
+    }
+  }
+  asym::count_write(out.size());
+  return out;
+}
+
+template <int K>
+void LogForest<K>::rebuild_from(std::vector<Point> pts) {
+  levels_.clear();
+  live_ = pts.size();
+  dead_ = 0;
+  if (pts.empty()) return;
+  size_t lvl = 0;
+  while ((size_t{1} << (lvl + 1)) <= pts.size()) ++lvl;
+  levels_.resize(lvl + 1);
+  Level& dst = levels_[lvl];
+  dst.tree = build(std::move(pts));
+  dst.alive.assign(dst.tree.size(), 1);
+  dst.used = true;
+}
+
+template <int K>
+size_t LogForest<K>::range_count(const Box& query, QueryStats* qs) const {
+  size_t total = 0;
+  for (const Level& L : levels_) {
+    if (!L.used) continue;
+    // Report and filter by liveness (the static tree cannot subtract dead
+    // points from counts).
+    auto pts = L.tree.range_report(query, qs);
+    const auto& tree_pts = L.tree.points();
+    if (L.dead == 0) {
+      total += pts.size();
+      continue;
+    }
+    // Re-scan matching indices to test liveness.
+    for (size_t i = 0; i < tree_pts.size(); ++i) {
+      if (L.alive[i] && query.contains(tree_pts[i])) ++total;
+    }
+  }
+  return total;
+}
+
+template <int K>
+std::vector<typename LogForest<K>::Point> LogForest<K>::range_report(
+    const Box& query, QueryStats* qs) const {
+  std::vector<Point> out;
+  for (const Level& L : levels_) {
+    if (!L.used) continue;
+    if (L.dead == 0) {
+      auto pts = L.tree.range_report(query, qs);
+      out.insert(out.end(), pts.begin(), pts.end());
+    } else {
+      const auto& tree_pts = L.tree.points();
+      for (size_t i = 0; i < tree_pts.size(); ++i) {
+        if (L.alive[i] && query.contains(tree_pts[i])) out.push_back(tree_pts[i]);
+      }
+    }
+  }
+  return out;
+}
+
+template <int K>
+std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
+    const Point& q, double eps, QueryStats* qs) const {
+  std::optional<Point> best;
+  double best_sq = std::numeric_limits<double>::infinity();
+  for (const Level& L : levels_) {
+    if (!L.used) continue;
+    if (L.dead == 0) {
+      size_t idx = L.tree.ann(q, eps, qs);
+      if (idx == SIZE_MAX) continue;
+      double d2 = geom::squared_distance(L.tree.points()[idx], q);
+      if (d2 < best_sq) {
+        best_sq = d2;
+        best = L.tree.points()[idx];
+      }
+    } else {
+      // With dead points, fall back to k-NN enumeration until a live point
+      // is found (dead fraction < 1/2, so expected O(1) extra candidates).
+      const auto& pts = L.tree.points();
+      size_t k = 2;
+      while (k < 2 * pts.size()) {
+        auto cand = L.tree.knn(q, k, qs);
+        bool found = false;
+        for (size_t idx : cand) {
+          if (L.alive[idx]) {
+            double d2 = geom::squared_distance(pts[idx], q);
+            if (d2 < best_sq) {
+              best_sq = d2;
+              best = pts[idx];
+            }
+            found = true;
+            break;
+          }
+        }
+        if (found || cand.size() < k) break;
+        k *= 2;
+      }
+    }
+  }
+  return best;
+}
+
+template <int K>
+size_t LogForest<K>::num_trees() const {
+  size_t c = 0;
+  for (const Level& L : levels_) c += L.used ? 1 : 0;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// DynamicKdTree (single-tree version)
+// ---------------------------------------------------------------------------
+
+template <int K>
+double DynamicKdTree<K>::imbalance_tolerance() const {
+  if (mode_ == Mode::kAnnOnly) return 0.40;  // constant-factor imbalance
+  // O(1/log n) imbalance keeps the height at log2 n + O(1) (Lemma 6.2's
+  // regime applied to rebalancing).
+  double lg = std::log2(static_cast<double>(std::max<size_t>(live_, 4)));
+  return std::min(0.40, 1.0 / lg);
+}
+
+template <int K>
+uint32_t DynamicKdTree<K>::alloc_node() {
+  if (!free_list_.empty()) {
+    uint32_t v = free_list_.back();
+    free_list_.pop_back();
+    pool_[v] = Node{};
+    return v;
+  }
+  pool_.push_back(Node{});
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+template <int K>
+void DynamicKdTree<K>::free_subtree(uint32_t v) {
+  if (v == kNullNode) return;
+  free_subtree(pool_[v].left);
+  free_subtree(pool_[v].right);
+  pool_[v] = Node{};
+  free_list_.push_back(v);
+}
+
+template <int K>
+void DynamicKdTree<K>::collect_alive(uint32_t v,
+                                     std::vector<Point>& out) const {
+  if (v == kNullNode) return;
+  const Node& nd = pool_[v];
+  asym::count_read();
+  if (nd.is_leaf()) {
+    asym::count_read(nd.leaf_pts.size());
+    for (const auto& [pt, alive] : nd.leaf_pts) {
+      if (alive) out.push_back(pt);
+    }
+    return;
+  }
+  collect_alive(nd.left, out);
+  collect_alive(nd.right, out);
+}
+
+template <int K>
+uint32_t DynamicKdTree<K>::rebuild_subtree(std::vector<Point>& pts, size_t lo,
+                                           size_t hi, int depth) {
+  uint32_t id = alloc_node();
+  Node& nd_init = pool_[id];
+  nd_init.depth = depth;
+  size_t m = hi - lo;
+  nd_init.live = nd_init.total = static_cast<uint32_t>(m);
+  if (m <= leaf_size_) {
+    asym::count_write(m);
+    auto& nd = pool_[id];
+    nd.leaf_pts.reserve(m);
+    for (size_t i = lo; i < hi; ++i) nd.leaf_pts.emplace_back(pts[i], true);
+    return id;
+  }
+  int dim = depth % K;
+  size_t mid = lo + m / 2;
+  asym::count_read(m);
+  asym::count_write(m);
+  std::nth_element(
+      pts.begin() + static_cast<long>(lo), pts.begin() + static_cast<long>(mid),
+      pts.begin() + static_cast<long>(hi),
+      [dim](const Point& a, const Point& b) { return a[dim] < b[dim]; });
+  pool_[id].dim = dim;
+  pool_[id].split = pts[mid][dim];
+  uint32_t l = rebuild_subtree(pts, lo, mid, depth + 1);
+  uint32_t r = rebuild_subtree(pts, mid, hi, depth + 1);
+  pool_[id].left = l;
+  pool_[id].right = r;
+  return id;
+}
+
+template <int K>
+void DynamicKdTree<K>::maybe_rebalance(const std::vector<uint32_t>& path) {
+  // Find the highest node on the path whose children's live weights differ
+  // beyond the tolerance (or with too many dead points), and reconstruct it.
+  double tol = imbalance_tolerance();
+  for (uint32_t v : path) {
+    const Node& nd = pool_[v];
+    if (nd.is_leaf()) break;
+    uint32_t l = pool_[nd.left].live, r = pool_[nd.right].live;
+    uint32_t total_live = l + r;
+    bool unbalanced =
+        total_live > 2 * leaf_size_ &&
+        (std::max(l, r) >
+         static_cast<uint32_t>((0.5 + tol) * static_cast<double>(total_live)));
+    bool too_dead = nd.total > 2 * nd.live && nd.total > 2 * leaf_size_;
+    if (unbalanced || too_dead) {
+      ++rebuilds_;
+      std::vector<Point> pts;
+      pts.reserve(nd.live);
+      collect_alive(v, pts);
+      int depth = nd.depth;
+      // Find parent link.
+      uint32_t parent = kNullNode;
+      int side = -1;
+      for (uint32_t u : path) {
+        if (u == v) break;
+        parent = u;
+      }
+      if (parent != kNullNode) {
+        side = (pool_[parent].left == v) ? 0 : 1;
+      }
+      free_subtree(v);
+      uint32_t fresh =
+          pts.empty()
+              ? alloc_node()  // empty leaf placeholder
+              : rebuild_subtree(pts, 0, pts.size(), depth);
+      if (pts.empty()) pool_[fresh].depth = depth;
+      if (parent == kNullNode) {
+        root_ = fresh;
+      } else if (side == 0) {
+        pool_[parent].left = fresh;
+      } else {
+        pool_[parent].right = fresh;
+      }
+      return;  // only the topmost violated node is reconstructed
+    }
+  }
+}
+
+template <int K>
+void DynamicKdTree<K>::insert(const Point& p) {
+  ++live_;
+  if (root_ == kNullNode) {
+    root_ = alloc_node();
+    pool_[root_].leaf_pts.emplace_back(p, true);
+    pool_[root_].live = pool_[root_].total = 1;
+    asym::count_write();
+    return;
+  }
+  std::vector<uint32_t> path;
+  uint32_t cur = root_;
+  while (true) {
+    path.push_back(cur);
+    Node& nd = pool_[cur];
+    asym::count_read();
+    asym::count_write();  // subtree weight update
+    ++nd.live;
+    ++nd.total;
+    if (nd.is_leaf()) break;
+    cur = p[nd.dim] < nd.split ? nd.left : nd.right;
+  }
+  Node& leaf = pool_[cur];
+  asym::count_write();
+  leaf.leaf_pts.emplace_back(p, true);
+  if (leaf.leaf_pts.size() > leaf_size_) {
+    // Split the leaf by the median of its (live and dead) points.
+    std::vector<std::pair<Point, bool>> pts;
+    pts.swap(leaf.leaf_pts);
+    int dim = leaf.depth % K;
+    size_t mid = pts.size() / 2;
+    asym::count_read(pts.size());
+    asym::count_write(pts.size());
+    std::nth_element(pts.begin(), pts.begin() + static_cast<long>(mid),
+                     pts.end(), [dim](const auto& a, const auto& b) {
+                       return a.first[dim] < b.first[dim];
+                     });
+    uint32_t l = alloc_node();
+    uint32_t r = alloc_node();
+    Node& nd = pool_[cur];  // re-fetch (alloc_node may reallocate the pool)
+    nd.dim = dim;
+    nd.split = pts[mid].first[dim];
+    nd.left = l;
+    nd.right = r;
+    pool_[l].depth = nd.depth + 1;
+    pool_[r].depth = nd.depth + 1;
+    auto fill = [&](uint32_t child, size_t lo, size_t hi) {
+      Node& c = pool_[child];
+      c.leaf_pts.assign(pts.begin() + static_cast<long>(lo),
+                        pts.begin() + static_cast<long>(hi));
+      c.total = static_cast<uint32_t>(hi - lo);
+      c.live = 0;
+      for (size_t i = lo; i < hi; ++i) c.live += pts[i].second ? 1 : 0;
+    };
+    fill(l, 0, mid);
+    fill(r, mid, pts.size());
+  }
+  maybe_rebalance(path);
+}
+
+template <int K>
+bool DynamicKdTree<K>::erase(const Point& p) {
+  if (root_ == kNullNode) return false;
+  // Recursive locate that explores both sides when p lies exactly on a
+  // splitting hyperplane (partitioning does not fix the side of ties).
+  std::vector<uint32_t> path;
+  auto rec = [&](auto&& self, uint32_t v) -> bool {
+    path.push_back(v);
+    Node& nd = pool_[v];
+    asym::count_read();
+    if (nd.is_leaf()) {
+      for (auto& [pt, alive] : nd.leaf_pts) {
+        asym::count_read();
+        if (alive && pt == p) {
+          asym::count_write();
+          alive = false;
+          return true;
+        }
+      }
+      path.pop_back();
+      return false;
+    }
+    bool found;
+    if (p[nd.dim] < nd.split) {
+      found = self(self, nd.left);
+    } else if (p[nd.dim] > nd.split) {
+      found = self(self, nd.right);
+    } else {
+      found = self(self, nd.left);
+      if (!found) found = self(self, nd.right);
+    }
+    if (!found) path.pop_back();
+    return found;
+  };
+  if (!rec(rec, root_)) return false;
+  --live_;
+  ++dead_;
+  for (uint32_t v : path) {
+    asym::count_write();
+    --pool_[v].live;
+  }
+  maybe_rebalance(path);
+  return true;
+}
+
+template <int K>
+size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
+  if (root_ == kNullNode) return 0;
+  size_t count = 0;
+  auto rec = [&](auto&& self, uint32_t v) -> void {
+    const Node& nd = pool_[v];
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();
+    if (nd.is_leaf()) {
+      for (const auto& [pt, alive] : nd.leaf_pts) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        if (alive && query.contains(pt)) ++count;
+      }
+      return;
+    }
+    if (query.lo[nd.dim] <= nd.split) self(self, nd.left);
+    if (query.hi[nd.dim] >= nd.split) self(self, nd.right);
+  };
+  rec(rec, root_);
+  return count;
+}
+
+template <int K>
+std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::range_report(
+    const Box& query, QueryStats* qs) const {
+  std::vector<Point> out;
+  if (root_ == kNullNode) return out;
+  auto rec = [&](auto&& self, uint32_t v) -> void {
+    const Node& nd = pool_[v];
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();
+    if (nd.is_leaf()) {
+      for (const auto& [pt, alive] : nd.leaf_pts) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        if (alive && query.contains(pt)) {
+          asym::count_write();
+          out.push_back(pt);
+        }
+      }
+      return;
+    }
+    if (query.lo[nd.dim] <= nd.split) self(self, nd.left);
+    if (query.hi[nd.dim] >= nd.split) self(self, nd.right);
+  };
+  rec(rec, root_);
+  return out;
+}
+
+template <int K>
+std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
+    const Point& q, double eps, QueryStats* qs) const {
+  if (root_ == kNullNode || live_ == 0) return std::nullopt;
+  double best_sq = std::numeric_limits<double>::infinity();
+  std::optional<Point> best;
+  double prune = 1.0 / ((1.0 + eps) * (1.0 + eps));
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  auto rec = [&](auto&& self, uint32_t v, Box region) -> void {
+    if (region.squared_distance(q) > best_sq * prune) return;
+    const Node& nd = pool_[v];
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();
+    if (nd.is_leaf()) {
+      for (const auto& [pt, alive] : nd.leaf_pts) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        if (!alive) continue;
+        double d2 = geom::squared_distance(pt, q);
+        if (d2 < best_sq) {
+          best_sq = d2;
+          best = pt;
+        }
+      }
+      return;
+    }
+    Box lr = region, rr = region;
+    lr.hi[nd.dim] = nd.split;
+    rr.lo[nd.dim] = nd.split;
+    if (q[nd.dim] <= nd.split) {
+      self(self, nd.left, lr);
+      self(self, nd.right, rr);
+    } else {
+      self(self, nd.right, rr);
+      self(self, nd.left, lr);
+    }
+  };
+  rec(rec, root_, all);
+  return best;
+}
+
+template <int K>
+size_t DynamicKdTree<K>::height() const {
+  if (root_ == kNullNode) return 0;
+  auto rec = [&](auto&& self, uint32_t v) -> size_t {
+    const Node& nd = pool_[v];
+    if (nd.is_leaf()) return 1;
+    return 1 + std::max(self(self, nd.left), self(self, nd.right));
+  };
+  return rec(rec, root_);
+}
+
+template <int K>
+bool DynamicKdTree<K>::validate() const {
+  if (root_ == kNullNode) return live_ == 0;
+  bool ok = true;
+  size_t live_seen = 0;
+  auto rec = [&](auto&& self, uint32_t v, Box region) -> uint32_t {
+    const Node& nd = pool_[v];
+    if (nd.is_leaf()) {
+      uint32_t live = 0;
+      for (const auto& [pt, alive] : nd.leaf_pts) {
+        if (!region.contains(pt)) ok = false;
+        if (alive) {
+          ++live;
+          ++live_seen;
+        }
+      }
+      if (live != nd.live) ok = false;
+      return live;
+    }
+    Box lr = region, rr = region;
+    lr.hi[nd.dim] = nd.split;
+    rr.lo[nd.dim] = nd.split;
+    uint32_t l = self(self, nd.left, lr);
+    uint32_t r = self(self, nd.right, rr);
+    if (l + r != nd.live) ok = false;
+    return l + r;
+  };
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  rec(rec, root_, all);
+  return ok && live_seen == live_;
+}
+
+template class LogForest<2>;
+template class LogForest<3>;
+template class DynamicKdTree<2>;
+template class DynamicKdTree<3>;
+
+}  // namespace weg::kdtree

@@ -1,0 +1,136 @@
+// Dynamic k-d trees (Section 6.2). k-d tree nodes represent subspaces, so
+// rotations are impossible; both update strategies in the paper are
+// reconstruction-based:
+//
+//  * LogForest — logarithmic reconstruction [46]: at most log2 n static
+//    trees of sizes that are increasing powers of two. An insertion creates
+//    a size-1 tree and repeatedly merges equal-sized trees (flatten +
+//    rebuild). Queries search all O(log n) trees. Insertion costs
+//    O(log^2 n) reads and writes; rebuilding with the p-batched constructor
+//    (RebuildMode::PBatched) cuts the *writes* per insertion to O(log n)
+//    while reads stay O(log^2 n), exactly the trade the paper describes.
+//    Deletions mark points dead and the forest is compacted once half of
+//    all points are dead (amortized O(1) writes per deletion).
+//
+//  * DynamicKdTree — single-tree version: subtree sizes are maintained and a
+//    subtree is reconstructed whenever the weights of its two children
+//    differ beyond the mode's tolerance. Mode::RangeOptimal keeps the
+//    imbalance at O(1/log n) so the height stays log2 n + O(1) (preserving
+//    the O(n^((k-1)/k)) range query bound) at O(log^3 n) amortized work per
+//    insertion; Mode::AnnOnly tolerates a constant-factor imbalance (height
+//    O(log n)) at O(log^2 n) amortized work.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/kdtree/kdtree.h"
+#include "src/kdtree/pbatched.h"
+
+namespace weg::kdtree {
+
+template <int K>
+class LogForest {
+ public:
+  using Point = geom::PointK<K>;
+  using Box = geom::BoxK<K>;
+
+  enum class RebuildMode { kClassic, kPBatched };
+
+  explicit LogForest(RebuildMode mode = RebuildMode::kClassic,
+                     size_t leaf_size = 8)
+      : mode_(mode), leaf_size_(leaf_size) {}
+
+  void insert(const Point& p);
+  // Removes one point equal to p; returns false if absent.
+  bool erase(const Point& p);
+
+  size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
+  std::vector<Point> range_report(const Box& query,
+                                  QueryStats* qs = nullptr) const;
+  // (1+eps)-ANN over the whole forest; returns the point itself.
+  std::optional<Point> ann(const Point& q, double eps = 0.0,
+                           QueryStats* qs = nullptr) const;
+
+  size_t size() const { return live_; }
+  size_t num_trees() const;
+
+ private:
+  struct Level {
+    KdTree<K> tree;
+    std::vector<uint8_t> alive;  // parallel to tree.points()
+    size_t dead = 0;
+    bool used = false;
+  };
+
+  std::vector<Point> flatten_alive() const;
+  void rebuild_from(std::vector<Point> pts);
+  KdTree<K> build(std::vector<Point> pts);
+
+  RebuildMode mode_;
+  size_t leaf_size_;
+  std::vector<Level> levels_;
+  size_t live_ = 0;
+  size_t dead_ = 0;
+};
+
+template <int K>
+class DynamicKdTree {
+ public:
+  using Point = geom::PointK<K>;
+  using Box = geom::BoxK<K>;
+
+  enum class Mode { kRangeOptimal, kAnnOnly };
+
+  explicit DynamicKdTree(Mode mode = Mode::kRangeOptimal,
+                         size_t leaf_size = 8)
+      : mode_(mode), leaf_size_(leaf_size) {}
+
+  void insert(const Point& p);
+  bool erase(const Point& p);
+
+  size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
+  std::vector<Point> range_report(const Box& query,
+                                  QueryStats* qs = nullptr) const;
+  std::optional<Point> ann(const Point& q, double eps = 0.0,
+                           QueryStats* qs = nullptr) const;
+
+  size_t size() const { return live_; }
+  size_t height() const;
+  // Number of subtree reconstructions triggered so far (test/bench hook).
+  size_t rebuilds() const { return rebuilds_; }
+  bool validate() const;
+
+ private:
+  struct Node {
+    int dim = 0;
+    double split = 0;
+    int depth = 0;
+    uint32_t left = kNullNode;
+    uint32_t right = kNullNode;
+    uint32_t live = 0;   // live points in subtree
+    uint32_t total = 0;  // live + dead points in subtree
+    std::vector<std::pair<Point, bool>> leaf_pts;  // (point, alive)
+    bool is_leaf() const { return left == kNullNode; }
+  };
+
+  double imbalance_tolerance() const;
+  uint32_t alloc_node();
+  void free_subtree(uint32_t v);
+  void collect_alive(uint32_t v, std::vector<Point>& out) const;
+  uint32_t rebuild_subtree(std::vector<Point>& pts, size_t lo, size_t hi,
+                           int depth);
+  void maybe_rebalance(const std::vector<uint32_t>& path);
+
+  Mode mode_;
+  size_t leaf_size_;
+  std::vector<Node> pool_;
+  std::vector<uint32_t> free_list_;
+  uint32_t root_ = kNullNode;
+  size_t live_ = 0;
+  size_t dead_ = 0;
+  size_t rebuilds_ = 0;
+};
+
+}  // namespace weg::kdtree

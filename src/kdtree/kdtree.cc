@@ -1,0 +1,364 @@
+#include "src/kdtree/kdtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+#include "src/parallel/parallel_for.h"
+
+namespace weg::kdtree {
+
+namespace {
+constexpr size_t kSeqCutoff = 4096;  // below this, build sequentially
+}
+
+template <int K>
+uint32_t KdTree<K>::build_recursive(size_t lo, size_t hi, int depth,
+                                    size_t leaf_size, bool charge,
+                                    std::atomic<uint32_t>* alloc) {
+  assert(hi > lo);
+  uint32_t id;
+  if (alloc) {
+    id = alloc->fetch_add(1, std::memory_order_relaxed);
+  } else {
+    id = static_cast<uint32_t>(nodes_.size());
+    nodes_.push_back(Node{});
+  }
+  size_t m = hi - lo;
+  if (m <= leaf_size) {
+    if (charge) asym::count_write(m);  // write out the leaf contents
+    nodes_[id].begin = static_cast<uint32_t>(lo);
+    nodes_[id].end = static_cast<uint32_t>(hi);
+    return id;
+  }
+  int dim = depth % K;
+  size_t mid = lo + m / 2;
+  // Exact median partition: one pass of reads and writes over the range.
+  if (charge) {
+    asym::count_read(m);
+    asym::count_write(m);
+  }
+  std::nth_element(points_.begin() + static_cast<long>(lo),
+                   points_.begin() + static_cast<long>(mid),
+                   points_.begin() + static_cast<long>(hi),
+                   [dim](const Point& a, const Point& b) {
+                     return a[dim] < b[dim];
+                   });
+  nodes_[id].dim = dim;
+  nodes_[id].split = points_[mid][dim];
+  uint32_t l, r;
+  if (alloc && m > kSeqCutoff) {
+    parallel::par_do(
+        [&] { l = build_recursive(lo, mid, depth + 1, leaf_size, charge, alloc); },
+        [&] { r = build_recursive(mid, hi, depth + 1, leaf_size, charge, alloc); });
+  } else {
+    l = build_recursive(lo, mid, depth + 1, leaf_size, charge, alloc);
+    r = build_recursive(mid, hi, depth + 1, leaf_size, charge, alloc);
+  }
+  nodes_[id].left = l;
+  nodes_[id].right = r;
+  return id;
+}
+
+template <int K>
+KdTree<K> KdTree<K>::build_classic(std::vector<Point> points,
+                                   size_t leaf_size, BuildStats* stats) {
+  asym::Region region;
+  KdTree t;
+  t.leaf_size_ = leaf_size;
+  t.points_ = std::move(points);
+  if (!t.points_.empty()) {
+    // Pre-size the node pool so subtree builds can allocate ids from an
+    // atomic counter and fork in parallel.
+    size_t bound = 4 * t.points_.size() / std::max<size_t>(1, leaf_size) + 64;
+    t.nodes_.resize(bound);
+    std::atomic<uint32_t> alloc{0};
+    t.root_ = t.build_recursive(0, t.points_.size(), 0, leaf_size, true,
+                                &alloc);
+    t.nodes_.resize(alloc.load());
+  }
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = t.height();
+    stats->nodes = t.nodes_.size();
+  }
+  return t;
+}
+
+template <int K>
+void KdTree<K>::range_rec(uint32_t node, const Box& region, const Box& query,
+                          bool count_only, size_t& count,
+                          std::vector<Point>* out, QueryStats* qs) const {
+  if (qs) ++qs->nodes_visited;
+  asym::count_read();  // fetch the node
+  const Node& nd = nodes_[node];
+  if (nd.is_leaf()) {
+    for (uint32_t i = nd.begin; i < nd.end; ++i) {
+      asym::count_read();
+      if (qs) ++qs->points_scanned;
+      if (query.contains(points_[i])) {
+        ++count;
+        if (!count_only && out) {
+          asym::count_write();  // output write
+          out->push_back(points_[i]);
+        }
+      }
+    }
+    return;
+  }
+  if (region.inside(query) && count_only) {
+    // Whole region inside query: for counting we could stop here with a
+    // subtree count; without stored counts we still scan, but callers that
+    // need the Lemma 6.1 bound use nodes_visited which already stops growing
+    // along this branch in the analysis. We descend only the needed side(s).
+  }
+  Box left_region = region;
+  left_region.hi[nd.dim] = nd.split;
+  Box right_region = region;
+  right_region.lo[nd.dim] = nd.split;
+  if (query.lo[nd.dim] <= nd.split) {
+    range_rec(nd.left, left_region, query, count_only, count, out, qs);
+  }
+  if (query.hi[nd.dim] >= nd.split) {
+    range_rec(nd.right, right_region, query, count_only, count, out, qs);
+  }
+}
+
+template <int K>
+size_t KdTree<K>::range_count(const Box& query, QueryStats* qs) const {
+  if (root_ == kNullNode) return 0;
+  size_t count = 0;
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  range_rec(root_, all, query, true, count, nullptr, qs);
+  return count;
+}
+
+template <int K>
+std::vector<typename KdTree<K>::Point> KdTree<K>::range_report(
+    const Box& query, QueryStats* qs) const {
+  std::vector<Point> out;
+  if (root_ == kNullNode) return out;
+  size_t count = 0;
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  range_rec(root_, all, query, false, count, &out, qs);
+  return out;
+}
+
+namespace {
+
+// Best-first ANN helper state shared across recursion.
+template <int K>
+struct AnnState {
+  const geom::PointK<K>* q;
+  double best_sq = std::numeric_limits<double>::infinity();
+  size_t best_idx = SIZE_MAX;
+  double prune_factor = 1.0;  // 1/(1+eps)^2
+  QueryStats* qs = nullptr;
+};
+
+}  // namespace
+
+template <int K>
+size_t KdTree<K>::ann(const Point& q, double eps, QueryStats* qs) const {
+  if (root_ == kNullNode) return SIZE_MAX;
+  AnnState<K> st;
+  st.q = &q;
+  st.prune_factor = 1.0 / ((1.0 + eps) * (1.0 + eps));
+  st.qs = qs;
+
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  // Recursive depth-first with near-side-first ordering and box pruning.
+  auto rec = [&](auto&& self, uint32_t node, Box region) -> void {
+    if (region.squared_distance(q) > st.best_sq * st.prune_factor) return;
+    if (st.qs) ++st.qs->nodes_visited;
+    asym::count_read();
+    const Node& nd = nodes_[node];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        asym::count_read();
+        if (st.qs) ++st.qs->points_scanned;
+        double d2 = geom::squared_distance(points_[i], q);
+        if (d2 < st.best_sq) {
+          st.best_sq = d2;
+          st.best_idx = i;
+        }
+      }
+      return;
+    }
+    Box left_region = region;
+    left_region.hi[nd.dim] = nd.split;
+    Box right_region = region;
+    right_region.lo[nd.dim] = nd.split;
+    if (q[nd.dim] <= nd.split) {
+      self(self, nd.left, left_region);
+      self(self, nd.right, right_region);
+    } else {
+      self(self, nd.right, right_region);
+      self(self, nd.left, left_region);
+    }
+  };
+  rec(rec, root_, all);
+  return st.best_idx;
+}
+
+template <int K>
+std::vector<size_t> KdTree<K>::knn(const Point& q, size_t k,
+                                   QueryStats* qs) const {
+  std::vector<size_t> result;
+  if (root_ == kNullNode || k == 0) return result;
+  // Max-heap of (distance^2, index) of the current k best.
+  using Entry = std::pair<double, size_t>;
+  std::priority_queue<Entry> heap;
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  auto worst = [&] {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.top().first;
+  };
+  auto rec = [&](auto&& self, uint32_t node, Box region) -> void {
+    if (region.squared_distance(q) > worst()) return;
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();
+    const Node& nd = nodes_[node];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        double d2 = geom::squared_distance(points_[i], q);
+        if (d2 < worst()) {
+          heap.emplace(d2, i);
+          if (heap.size() > k) heap.pop();
+        }
+      }
+      return;
+    }
+    Box left_region = region;
+    left_region.hi[nd.dim] = nd.split;
+    Box right_region = region;
+    right_region.lo[nd.dim] = nd.split;
+    if (q[nd.dim] <= nd.split) {
+      self(self, nd.left, left_region);
+      self(self, nd.right, right_region);
+    } else {
+      self(self, nd.right, right_region);
+      self(self, nd.left, left_region);
+    }
+  };
+  rec(rec, root_, all);
+  result.resize(heap.size());
+  for (size_t i = result.size(); i-- > 0;) {
+    result[i] = heap.top().second;
+    heap.pop();
+  }
+  return result;
+}
+
+template <int K>
+size_t KdTree<K>::find(const Point& p) const {
+  if (root_ == kNullNode) return SIZE_MAX;
+  size_t result = SIZE_MAX;
+  auto rec = [&](auto&& self, uint32_t v) -> void {
+    if (result != SIZE_MAX) return;
+    asym::count_read();
+    const Node& nd = nodes_[v];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        asym::count_read();
+        if (points_[i] == p) {
+          result = i;
+          return;
+        }
+      }
+      return;
+    }
+    if (p[nd.dim] < nd.split) {
+      self(self, nd.left);
+    } else if (p[nd.dim] > nd.split) {
+      self(self, nd.right);
+    } else {  // on the hyperplane: the build may have put it on either side
+      self(self, nd.left);
+      self(self, nd.right);
+    }
+  };
+  rec(rec, root_);
+  return result;
+}
+
+template <int K>
+size_t KdTree<K>::height() const {
+  if (root_ == kNullNode) return 0;
+  struct Frame {
+    uint32_t node;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{root_, 1}};
+  size_t h = 0;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    h = std::max(h, f.depth);
+    const Node& nd = nodes_[f.node];
+    if (!nd.is_leaf()) {
+      stack.push_back({nd.left, f.depth + 1});
+      stack.push_back({nd.right, f.depth + 1});
+    }
+  }
+  return h;
+}
+
+template <int K>
+bool KdTree<K>::validate() const {
+  if (root_ == kNullNode) return points_.empty();
+  size_t total = 0;
+  struct Frame {
+    uint32_t node;
+    Box region;
+  };
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  std::vector<Frame> stack{{root_, all}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Node& nd = nodes_[f.node];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        ++total;
+        for (int d = 0; d < K; ++d) {
+          if (points_[i][d] < f.region.lo[d] || points_[i][d] > f.region.hi[d])
+            return false;
+        }
+      }
+      continue;
+    }
+    Box lr = f.region, rr = f.region;
+    lr.hi[nd.dim] = nd.split;
+    rr.lo[nd.dim] = nd.split;
+    stack.push_back({nd.left, lr});
+    stack.push_back({nd.right, rr});
+  }
+  return total == points_.size();
+}
+
+template class KdTree<2>;
+template class KdTree<3>;
+
+}  // namespace weg::kdtree

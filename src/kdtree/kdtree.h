@@ -1,0 +1,127 @@
+// k-d trees (Section 6.1): classic median-split construction (the baseline,
+// Θ(n log n) reads and writes) plus range and (1+eps)-approximate
+// nearest-neighbor queries shared by every construction variant.
+//
+// Splitting cycles through the k dimensions (the analysis of Lemma 6.1
+// assumes each axis is partitioned once every k consecutive levels).
+// Interior nodes store the splitting hyperplane and the region box induced
+// by the splits above (used for query pruning); leaves store up to
+// `leaf_size` points.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/geom/box.h"
+#include "src/geom/point.h"
+
+namespace weg::kdtree {
+
+struct BuildStats {
+  asym::Counts cost;   // large-memory traffic of the build
+  size_t height = 0;   // tree height (nodes on longest root-leaf path)
+  size_t nodes = 0;    // total tree nodes
+  // p-batched only: number of leaf-settle events and max buffer size seen at
+  // settle time (Figure 2 / Lemma 6.3 series).
+  size_t settles = 0;
+  size_t max_settle_buffer = 0;
+};
+
+struct QueryStats {
+  size_t nodes_visited = 0;
+  size_t points_scanned = 0;
+};
+
+inline constexpr uint32_t kNullNode = UINT32_MAX;
+
+template <int K>
+class KdTree {
+ public:
+  using Point = geom::PointK<K>;
+  using Box = geom::BoxK<K>;
+
+  struct Node {
+    int dim = 0;                 // splitting dimension (interior)
+    double split = 0;            // splitting coordinate (interior)
+    uint32_t left = kNullNode;   // kNullNode for leaves
+    uint32_t right = kNullNode;
+    uint32_t begin = 0, end = 0;  // leaf: range in points_
+    bool is_leaf() const { return left == kNullNode; }
+  };
+
+  KdTree() = default;
+
+  // Classic construction: recursive exact-median split, cycling dimensions.
+  // Charges one read + one write per point per level (Θ(n log n) writes).
+  static KdTree build_classic(std::vector<Point> points, size_t leaf_size = 8,
+                              BuildStats* stats = nullptr);
+
+  // --- queries ---------------------------------------------------------
+
+  // Count / report points inside the axis-aligned box.
+  size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
+  std::vector<Point> range_report(const Box& query,
+                                  QueryStats* qs = nullptr) const;
+
+  // (1+eps)-approximate nearest neighbor; eps = 0 gives the exact NN.
+  // Returns the index into points() of the neighbor (SIZE_MAX if empty).
+  size_t ann(const Point& q, double eps = 0.0, QueryStats* qs = nullptr) const;
+
+  // k nearest neighbors (exact), returned sorted by distance.
+  std::vector<size_t> knn(const Point& q, size_t k,
+                          QueryStats* qs = nullptr) const;
+
+  // Index of a point equal to p (SIZE_MAX if absent). Descends the splits,
+  // exploring both sides when p lies exactly on a splitting hyperplane.
+  size_t find(const Point& p) const;
+
+  // --- introspection ------------------------------------------------------
+
+  size_t size() const { return points_.size(); }
+  const std::vector<Point>& points() const { return points_; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t height() const;
+
+  // Structural invariants: every leaf point lies on the correct side of all
+  // ancestor splits; leaf ranges partition points_. Returns false on any
+  // violation (test helper, uncounted).
+  bool validate() const;
+
+  // --- internals shared with the other construction algorithms ------------
+  std::vector<Node>& nodes() { return nodes_; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  uint32_t& root() { return root_; }
+  uint32_t root() const { return root_; }
+  std::vector<Point>& mutable_points() { return points_; }
+
+  // Builds a subtree over points_[lo, hi) (reordering in place) and returns
+  // its node index. `charge` toggles asym counting (the p-batched finishing
+  // step builds small subtrees inside the symmetric memory and charges only
+  // the O(p) input reads / output writes itself). If `alloc` is non-null,
+  // node ids are taken from it (nodes_ must be pre-sized) and large subtrees
+  // fork in parallel; otherwise nodes are appended sequentially.
+  uint32_t build_recursive(size_t lo, size_t hi, int depth, size_t leaf_size,
+                           bool charge,
+                           std::atomic<uint32_t>* alloc = nullptr);
+
+ private:
+  void range_rec(uint32_t node, const Box& region, const Box& query,
+                 bool count_only, size_t& count, std::vector<Point>* out,
+                 QueryStats* qs) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Point> points_;
+  uint32_t root_ = kNullNode;
+  size_t leaf_size_ = 8;
+
+  template <int K2>
+  friend class PBatchedBuilder;
+};
+
+using KdTree2 = KdTree<2>;
+using KdTree3 = KdTree<3>;
+
+}  // namespace weg::kdtree

@@ -1,0 +1,389 @@
+#include "src/kdtree/pbatched.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "src/core/prefix_doubling.h"
+#include "src/parallel/parallel_for.h"
+#include "src/primitives/semisort.h"
+
+namespace weg::kdtree {
+
+namespace {
+
+// Construction-time node: leaves own a point buffer.
+template <int K>
+struct BNode {
+  int dim = 0;
+  double split = 0;
+  int depth = 0;  // root = 0; fixes the cycling split dimension
+  uint32_t left = kNullNode;
+  uint32_t right = kNullNode;
+  std::vector<geom::PointK<K>> buffer;
+  bool is_leaf() const { return left == kNullNode; }
+};
+
+template <int K>
+struct Builder {
+  using Point = geom::PointK<K>;
+
+  SplitRule rule = SplitRule::kMedianCycling;
+  std::vector<BNode<K>> pool;
+  std::atomic<uint32_t> alloc{0};
+  uint32_t root = kNullNode;
+  size_t p;
+  std::atomic<size_t> settles{0};
+  std::atomic<size_t> max_settle_buffer{0};
+
+  uint32_t new_node() {
+    uint32_t id = alloc.fetch_add(1, std::memory_order_relaxed);
+    assert(id < pool.size());
+    return id;
+  }
+
+  // Chooses the splitting (dimension, position) for pts[lo, hi) per the
+  // configured rule (Section 6.3: any heuristic linear in the buffered set)
+  // and partitions the range so [lo, mid) goes left. Returns (dim, mid).
+  std::pair<int, size_t> choose_split(std::vector<Point>& pts, size_t lo,
+                                      size_t hi, int depth) {
+    size_t m = hi - lo;
+    if (rule == SplitRule::kMedianCycling) {
+      int dim = depth % K;
+      size_t mid = lo + m / 2;
+      std::nth_element(pts.begin() + static_cast<long>(lo),
+                       pts.begin() + static_cast<long>(mid),
+                       pts.begin() + static_cast<long>(hi),
+                       [dim](const Point& a, const Point& b) {
+                         return a[dim] < b[dim];
+                       });
+      return {dim, mid};
+    }
+    // Tight bounding box of the buffered piece selects the dimension.
+    auto box = geom::BoxK<K>::empty();
+    for (size_t i = lo; i < hi; ++i) box.extend(pts[i]);
+    int dim = box.longest_dimension();
+    if (rule == SplitRule::kLongestDim) {
+      size_t mid = lo + m / 2;
+      std::nth_element(pts.begin() + static_cast<long>(lo),
+                       pts.begin() + static_cast<long>(mid),
+                       pts.begin() + static_cast<long>(hi),
+                       [dim](const Point& a, const Point& b) {
+                         return a[dim] < b[dim];
+                       });
+      return {dim, mid};
+    }
+    // Surface-area heuristic [30]: sort along dim, sweep prefix/suffix
+    // boxes, minimize SA(L)*|L| + SA(R)*|R|.
+    std::sort(pts.begin() + static_cast<long>(lo),
+              pts.begin() + static_cast<long>(hi),
+              [dim](const Point& a, const Point& b) { return a[dim] < b[dim]; });
+    auto half_area = [](const geom::BoxK<K>& b) {
+      // Sum of pairwise extent products (surface area up to a constant).
+      double sa = 0;
+      for (int d1 = 0; d1 < K; ++d1) {
+        for (int d2 = d1 + 1; d2 < K; ++d2) sa += b.extent(d1) * b.extent(d2);
+      }
+      if constexpr (K == 2) {
+        // In 2D, use perimeter instead of the single product.
+        sa = b.extent(0) + b.extent(1);
+      }
+      return sa;
+    };
+    std::vector<double> suffix(m + 1, 0.0);
+    {
+      auto b = geom::BoxK<K>::empty();
+      for (size_t i = m; i-- > 1;) {
+        b.extend(pts[lo + i]);
+        suffix[i] = half_area(b);
+      }
+    }
+    // Clamp the candidate range to the middle half: keeps every piece at
+    // least m/4 points, bounding the node count (and the tree height).
+    auto bl = geom::BoxK<K>::empty();
+    double best_cost = std::numeric_limits<double>::infinity();
+    size_t best = lo + m / 2;
+    size_t cand_lo = std::max<size_t>(1, m / 4);
+    size_t cand_hi = m - cand_lo;
+    for (size_t i = 1; i <= cand_hi; ++i) {
+      bl.extend(pts[lo + i - 1]);
+      if (i < cand_lo) continue;
+      double cost = half_area(bl) * double(i) + suffix[i] * double(m - i);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = lo + i;
+      }
+    }
+    return {dim, best};
+  }
+
+  // Splits points[lo, hi) recursively until every piece is <= p, buffering
+  // the pieces in fresh leaves. Used for both the initial round and settles.
+  // Charges one read + one write per point per split level.
+  uint32_t split_down(std::vector<Point>& pts, size_t lo, size_t hi,
+                      int depth) {
+    uint32_t id = new_node();
+    pool[id].depth = depth;
+    size_t m = hi - lo;
+    if (m <= p) {
+      asym::count_write(m);  // buffer the piece
+      pool[id].buffer.assign(pts.begin() + static_cast<long>(lo),
+                             pts.begin() + static_cast<long>(hi));
+      return id;
+    }
+    asym::count_read(m);
+    asym::count_write(m);
+    auto [dim, mid] = choose_split(pts, lo, hi, depth);
+    pool[id].dim = dim;
+    pool[id].split = pts[mid][dim];
+    uint32_t l = split_down(pts, lo, mid, depth + 1);
+    uint32_t r = split_down(pts, mid, hi, depth + 1);
+    pool[id].left = l;  // re-index: recursion may have touched the pool
+    pool[id].right = r;
+    return id;
+  }
+
+  // Settles an overflowed leaf (Figure 2c): splits its buffer by the median,
+  // recursively while a side still exceeds p.
+  void settle(uint32_t leaf) {
+    BNode<K>& nd = pool[leaf];
+    assert(nd.is_leaf());
+    std::vector<Point> pts;
+    pts.swap(nd.buffer);
+    settles.fetch_add(1, std::memory_order_relaxed);
+    size_t cur = max_settle_buffer.load(std::memory_order_relaxed);
+    while (pts.size() > cur && !max_settle_buffer.compare_exchange_weak(
+                                   cur, pts.size(), std::memory_order_relaxed)) {
+    }
+    size_t m = pts.size();
+    asym::count_read(m);
+    asym::count_write(m);
+    auto [dim, mid] = choose_split(pts, 0, m, pool[leaf].depth);
+    pool[leaf].dim = dim;
+    pool[leaf].split = pts[mid][dim];
+    int depth = pool[leaf].depth;
+    uint32_t l = new_node();
+    uint32_t r = new_node();
+    pool[l].depth = depth + 1;
+    pool[r].depth = depth + 1;
+    pool[l].buffer.assign(pts.begin(), pts.begin() + static_cast<long>(mid));
+    pool[r].buffer.assign(pts.begin() + static_cast<long>(mid), pts.end());
+    pool[leaf].left = l;
+    pool[leaf].right = r;
+    if (pool[l].buffer.size() > p) settle(l);
+    if (pool[r].buffer.size() > p) settle(r);
+  }
+
+  // Descends the current splits to the leaf containing pt (reads only).
+  uint32_t locate(const Point& pt) const {
+    uint32_t cur = root;
+    while (!pool[cur].is_leaf()) {
+      asym::count_read();
+      cur = pt[pool[cur].dim] < pool[cur].split ? pool[cur].left
+                                                : pool[cur].right;
+    }
+    asym::count_read();
+    return cur;
+  }
+};
+
+}  // namespace
+
+template <int K>
+KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
+                                    size_t leaf_size, BuildStats* stats,
+                                    SplitRule rule) {
+  size_t n = points.size();
+  if (n == 0) {
+    if (stats) *stats = BuildStats{};
+    return KdTree<K>{};
+  }
+  if (p == 0) {
+    double lg = std::log2(static_cast<double>(n) + 2.0);
+    p = static_cast<size_t>(lg * lg * lg) + 8;  // Omega(log^3 n), Lemma 6.2
+  }
+  asym::Region region;
+
+  Builder<K> b;
+  b.rule = rule;
+  b.p = p;
+  // Leaves hold >= p/2 points each after any settle, so the node count is
+  // bounded by ~4n/p plus slack for the initial round and final partial
+  // buffers.
+  b.pool.resize(16 * (n / std::max<size_t>(1, p) + 1) + 128);
+
+  auto rounds = core::prefix_doubling_rounds(n);
+
+  // Initial round: standard construction (split down to <= p buffers) on the
+  // first n/log^2 n points.
+  {
+    auto [lo, hi] = rounds[0];
+    std::vector<Point> prefix(points.begin() + static_cast<long>(lo),
+                              points.begin() + static_cast<long>(hi));
+    asym::count_read(hi - lo);
+    b.root = b.split_down(prefix, 0, prefix.size(), 0);
+  }
+
+  // Incremental rounds (Figure 2).
+  for (size_t r = 1; r < rounds.size(); ++r) {
+    auto [lo, hi] = rounds[r];
+    struct Located {
+      uint64_t leaf;
+      uint32_t idx;  // index into `points`
+    };
+    std::vector<Located> located(hi - lo);
+    // (a) locate leaves: reads only plus one bookkeeping write per point.
+    parallel::parallel_for(lo, hi, [&](size_t i) {
+      asym::count_read();  // fetch the point
+      uint32_t leaf = b.locate(points[i]);
+      asym::count_write();
+      located[i - lo] = Located{leaf, static_cast<uint32_t>(i)};
+    });
+    // (b) semisort by leaf.
+    auto groups = primitives::semisort_by(
+        located, [](const Located& l) { return l.leaf; });
+    // (c) append each group to its leaf buffer; settle overflows.
+    parallel::parallel_for(
+        0, groups.size() - 1,
+        [&](size_t g) {
+          size_t glo = groups[g], ghi = groups[g + 1];
+          uint32_t leaf = static_cast<uint32_t>(located[glo].leaf);
+          auto& buf = b.pool[leaf].buffer;
+          asym::count_write(ghi - glo);
+          buf.reserve(buf.size() + (ghi - glo));
+          for (size_t i = glo; i < ghi; ++i) {
+            buf.push_back(points[located[i].idx]);
+          }
+          if (buf.size() > b.p) b.settle(leaf);
+        },
+        1);
+  }
+
+  // Finishing: convert to the compact KdTree, building each remaining buffer
+  // into a subtree inside the symmetric memory (charge O(m) per leaf).
+  KdTree<K> t;
+  t.leaf_size_ = leaf_size;
+  size_t num_bnodes = b.alloc.load();
+
+  // DFS order: assign each construction leaf its compact point range.
+  std::vector<std::pair<uint32_t, size_t>> leaf_offsets;  // (bnode, offset)
+  size_t total_points = 0;
+  {
+    std::vector<uint32_t> stack{b.root};
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      const BNode<K>& nd = b.pool[v];
+      if (nd.is_leaf()) {
+        leaf_offsets.emplace_back(v, total_points);
+        total_points += nd.buffer.size();
+      } else {
+        stack.push_back(nd.right);
+        stack.push_back(nd.left);
+      }
+    }
+  }
+  assert(total_points == n);
+  t.points_.resize(n);
+  asym::count_read(n);
+  asym::count_write(n);
+  parallel::parallel_for(
+      0, leaf_offsets.size(),
+      [&](size_t i) {
+        auto [v, off] = leaf_offsets[i];
+        const auto& buf = b.pool[v].buffer;
+        std::copy(buf.begin(), buf.end(),
+                  t.points_.begin() + static_cast<long>(off));
+      },
+      1);
+
+  // Compact structure: interior BNodes map 1:1; leaf BNodes become finished
+  // subtrees built in small-memory (uncharged internal shuffles, one write
+  // per created node charged below).
+  size_t node_bound = num_bnodes + 4 * n / std::max<size_t>(1, leaf_size) + 64;
+  t.nodes_.resize(node_bound);
+  std::atomic<uint32_t> node_alloc{0};
+  // Map construction interior nodes first (sequential DFS, cheap: O(n/p)).
+  std::vector<uint32_t> compact_id(num_bnodes, kNullNode);
+  struct LeafTask {
+    uint32_t bnode;
+    size_t lo, hi;
+    int depth;
+  };
+  std::vector<LeafTask> leaf_tasks;
+  {
+    size_t leaf_i = 0;
+    std::vector<uint32_t> stack{b.root};
+    while (!stack.empty()) {
+      uint32_t v = stack.back();
+      stack.pop_back();
+      const BNode<K>& nd = b.pool[v];
+      if (nd.is_leaf()) {
+        auto [lv, off] = leaf_offsets[leaf_i++];
+        assert(lv == v);
+        leaf_tasks.push_back(LeafTask{v, off, off + nd.buffer.size(), nd.depth});
+        continue;
+      }
+      compact_id[v] = node_alloc.fetch_add(1);
+      stack.push_back(nd.right);
+      stack.push_back(nd.left);
+    }
+  }
+  // Fill interior nodes and remember which compact slots need leaf subtrees.
+  for (uint32_t v = 0; v < num_bnodes; ++v) {
+    if (compact_id[v] == kNullNode) continue;
+    const BNode<K>& nd = b.pool[v];
+    auto& cn = t.nodes_[compact_id[v]];
+    cn.dim = nd.dim;
+    cn.split = nd.split;
+    // children patched below (leaf children need built subtrees first)
+  }
+  // Build leaf subtrees in parallel, then patch parents.
+  std::vector<uint32_t> leaf_root(num_bnodes, kNullNode);
+  uint32_t before_leaf_nodes = node_alloc.load();
+  parallel::parallel_for(
+      0, leaf_tasks.size(),
+      [&](size_t i) {
+        const LeafTask& lt = leaf_tasks[i];
+        if (lt.hi == lt.lo) {
+          // Empty buffer (can only be the root of an empty round set); give
+          // it an empty leaf node.
+          uint32_t id = node_alloc.fetch_add(1);
+          t.nodes_[id].begin = t.nodes_[id].end = static_cast<uint32_t>(lt.lo);
+          leaf_root[lt.bnode] = id;
+          return;
+        }
+        leaf_root[lt.bnode] = t.build_recursive(lt.lo, lt.hi, lt.depth,
+                                                leaf_size, false, &node_alloc);
+      },
+      1);
+  asym::count_write(node_alloc.load() - before_leaf_nodes);  // created nodes
+  for (uint32_t v = 0; v < num_bnodes; ++v) {
+    if (compact_id[v] == kNullNode) continue;
+    const BNode<K>& nd = b.pool[v];
+    auto child = [&](uint32_t c) {
+      return b.pool[c].is_leaf() ? leaf_root[c] : compact_id[c];
+    };
+    t.nodes_[compact_id[v]].left = child(nd.left);
+    t.nodes_[compact_id[v]].right = child(nd.right);
+  }
+  t.nodes_.resize(node_alloc.load());
+  t.root_ = b.pool[b.root].is_leaf() ? leaf_root[b.root] : compact_id[b.root];
+
+  if (stats) {
+    stats->cost = region.delta();
+    stats->height = t.height();
+    stats->nodes = t.nodes_.size();
+    stats->settles = b.settles.load();
+    stats->max_settle_buffer = b.max_settle_buffer.load();
+  }
+  return t;
+}
+
+template class PBatchedBuilder<2>;
+template class PBatchedBuilder<3>;
+
+}  // namespace kdtree

@@ -1,0 +1,54 @@
+// The p-batched incremental k-d tree construction (Section 6.1, Figure 2,
+// Theorem 6.1).
+//
+// Classic construction writes every point once per level (Θ(n log n)
+// writes). The p-batched variant instead inserts points incrementally with
+// prefix doubling; each leaf *buffers* up to p points, and only when a leaf
+// overflows is it settled: the buffered points are split by their median
+// (recursively while a side still exceeds p). Each point is therefore
+// written O(1) times amortized: once into a buffer, and O(p) settle writes
+// are paid for by >= p/2 buffered points per created leaf, giving O(n)
+// writes total. Lemma 6.2: p = Omega(log^3 n) keeps the tree height at
+// log2 n + O(1) whp, preserving the O(n^((k-1)/k)) range query bound;
+// p = Omega(log n) suffices for ANN.
+//
+// Rounds proceed as in Figure 2: (a) every round point locates its leaf by
+// descending the current splits (reads only), (b) points are semisorted by
+// leaf, (c) groups are appended to leaf buffers and overflowed leaves are
+// settled in parallel. After the last round, leaves with non-empty buffers
+// finish their subtrees inside the symmetric memory (small-memory size
+// Omega(p)), charging only the O(p) input reads / output writes.
+#pragma once
+
+#include "src/kdtree/kdtree.h"
+
+namespace weg::kdtree {
+
+// Splitter selection (Section 6.3): the p-batched technique applies to any
+// heuristic that is linear in the object set — the splitter is computed from
+// the <= O(p) buffered objects only.
+//  * kMedianCycling — exact median, dimensions cycled (the Section 6.1
+//    default; Lemma 6.1's range-query analysis assumes it);
+//  * kLongestDim    — median along the buffer's longest extent (classic
+//    spatial-median variant);
+//  * kSurfaceAreaHeuristic — the SAH of [30]: minimize
+//    SA(left bbox)*|left| + SA(right bbox)*|right| over candidate split
+//    positions along the longest dimension, evaluated on the buffer.
+enum class SplitRule { kMedianCycling, kLongestDim, kSurfaceAreaHeuristic };
+
+template <int K>
+class PBatchedBuilder {
+ public:
+  using Point = geom::PointK<K>;
+
+  // Builds the tree over `points` (already in random order, as the paper
+  // assumes). `p` is the buffer capacity; 0 selects log^3 n automatically.
+  static KdTree<K> build(const std::vector<Point>& points, size_t p = 0,
+                         size_t leaf_size = 8, BuildStats* stats = nullptr,
+                         SplitRule rule = SplitRule::kMedianCycling);
+};
+
+using PBatched2 = PBatchedBuilder<2>;
+using PBatched3 = PBatchedBuilder<3>;
+
+}  // namespace weg::kdtree

@@ -1,0 +1,54 @@
+// Granularity-controlled parallel loops on top of the binary fork-join
+// scheduler. parallel_for recursively halves the index range (binary forking,
+// matching the model in Section 2.1) until ranges are at most `grain` long,
+// then runs them sequentially.
+#pragma once
+
+#include <cstddef>
+
+#include "src/parallel/scheduler.h"
+
+namespace weg::parallel {
+
+namespace detail {
+
+template <typename F>
+void parallel_for_rec(size_t lo, size_t hi, const F& f, size_t grain) {
+  if (hi - lo <= grain) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, f, grain); },
+         [&] { parallel_for_rec(mid, hi, f, grain); });
+}
+
+}  // namespace detail
+
+// Applies f(i) for i in [start, end). grain == 0 picks an automatic grain of
+// max(1, (end-start) / (8p)) capped at 2048, which keeps scheduling overhead
+// below a few percent for fine-grained bodies.
+template <typename F>
+void parallel_for(size_t start, size_t end, const F& f, size_t grain = 0) {
+  if (start >= end) return;
+  size_t n = end - start;
+  if (grain == 0) {
+    size_t p = static_cast<size_t>(num_workers());
+    grain = n / (8 * p) + 1;
+    if (grain > 2048) grain = 2048;
+  }
+  if (n <= grain || num_workers() == 1) {
+    for (size_t i = start; i < end; ++i) f(i);
+    return;
+  }
+  detail::parallel_for_rec(start, end, f, grain);
+}
+
+// Fork-join over a fixed small number of thunks (used where the paper forks a
+// constant number of children).
+template <typename F0, typename F1, typename F2>
+void par_do3(F0&& f0, F1&& f1, F2&& f2) {
+  par_do([&] { f0(); }, [&] { par_do([&] { f1(); }, [&] { f2(); }); });
+}
+
+}  // namespace weg::parallel

@@ -1,0 +1,53 @@
+// Priority-writes: the Asymmetric NP model (Section 2.1) resolves concurrent
+// writes to the same location by taking the minimum value. We implement this
+// with a CAS loop on std::atomic, which has identical semantics: among
+// concurrent write_min calls, the minimum value survives.
+#pragma once
+
+#include <atomic>
+
+namespace weg::parallel {
+
+// Atomically sets *a = min(*a, v). Returns true iff this call strictly
+// lowered the stored value.
+template <typename T>
+bool write_min(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (v < cur) {
+    if (a->compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Atomically sets *a = max(*a, v). Returns true iff this call strictly
+// raised the stored value.
+template <typename T>
+bool write_max(std::atomic<T>* a, T v) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (cur < v) {
+    if (a->compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Priority-write with a custom comparator: keeps the value that compares
+// smallest under `less`.
+template <typename T, typename Less>
+bool write_min(std::atomic<T>* a, T v, Less less) {
+  T cur = a->load(std::memory_order_relaxed);
+  while (less(v, cur)) {
+    if (a->compare_exchange_weak(cur, v, std::memory_order_acq_rel,
+                                 std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace weg::parallel

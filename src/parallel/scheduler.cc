@@ -1,0 +1,132 @@
+#include "src/parallel/scheduler.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace weg::parallel {
+
+namespace {
+
+// Thread-local worker id. The main thread (the one constructing the
+// scheduler) is worker 0; spawned workers are 1..p-1.
+thread_local int tl_worker_id = 0;
+
+size_t configured_workers() {
+  if (const char* env = std::getenv("WEG_NUM_THREADS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+uint64_t splitmix64(uint64_t& s) {
+  uint64_t z = (s += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Scheduler& Scheduler::instance() {
+  static Scheduler s;
+  return s;
+}
+
+int Scheduler::worker_id() { return tl_worker_id; }
+
+Scheduler::Scheduler() : num_workers_(configured_workers()), deques_(num_workers_) {
+  tl_worker_id = 0;
+  threads_.reserve(num_workers_ > 0 ? num_workers_ - 1 : 0);
+  for (size_t i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
+  }
+}
+
+Scheduler::~Scheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    idle_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void Scheduler::push_local(Job* job) {
+  auto& d = deques_[static_cast<size_t>(tl_worker_id)];
+  {
+    std::lock_guard<std::mutex> lk(d.mu);
+    d.jobs.push_back(job);
+  }
+  num_pending_.fetch_add(1, std::memory_order_relaxed);
+  wake_one();
+}
+
+bool Scheduler::pop_if_present(Job* job) {
+  auto& d = deques_[static_cast<size_t>(tl_worker_id)];
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (!d.jobs.empty() && d.jobs.back() == job) {
+    d.jobs.pop_back();
+    num_pending_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+Job* Scheduler::try_steal(uint64_t& rng) {
+  // One sweep over victims starting at a random offset; steal from the top
+  // (FIFO end) to grab the largest remaining subcomputations.
+  size_t start = splitmix64(rng) % num_workers_;
+  for (size_t k = 0; k < num_workers_; ++k) {
+    auto& d = deques_[(start + k) % num_workers_];
+    std::lock_guard<std::mutex> lk(d.mu);
+    if (!d.jobs.empty()) {
+      Job* job = d.jobs.front();
+      d.jobs.pop_front();
+      num_pending_.fetch_sub(1, std::memory_order_relaxed);
+      return job;
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::wait_for(Job* job) {
+  uint64_t rng = 0x12345678ULL + static_cast<uint64_t>(tl_worker_id);
+  while (!job->done.load(std::memory_order_acquire)) {
+    if (Job* other = try_steal(rng)) {
+      other->execute();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Scheduler::wake_one() {
+  idle_cv_.notify_one();
+}
+
+void Scheduler::worker_loop(int id) {
+  tl_worker_id = id;
+  uint64_t rng = 0x9e3779b9ULL * static_cast<uint64_t>(id + 1);
+  int idle_spins = 0;
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (Job* job = try_steal(rng)) {
+      idle_spins = 0;
+      job->execute();
+      continue;
+    }
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    std::unique_lock<std::mutex> lk(idle_mu_);
+    idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
+      return shutdown_.load(std::memory_order_acquire) ||
+             num_pending_.load(std::memory_order_relaxed) > 0;
+    });
+    idle_spins = 0;
+  }
+}
+
+}  // namespace weg::parallel

@@ -1,0 +1,128 @@
+// Fork-join work-stealing scheduler implementing the nested-parallel model
+// from the paper (Section 2.1): a computation forks child tasks that run in
+// parallel and joins them, forming a series-parallel DAG. A work-stealing
+// scheduler executes a computation with work W and depth D in W/p + O(D)
+// expected time, which is the execution model the Asymmetric NP model
+// inherits.
+//
+// Design: each worker owns a deque of jobs. par_do pushes the right branch to
+// the local deque and runs the left branch inline; on return it reclaims the
+// right branch if nobody stole it, otherwise it helps (steals other jobs)
+// until the stolen branch completes. Deques are mutex-protected — contention
+// is negligible because forks are coarsened by the granularity control in
+// parallel_for.h.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace weg::parallel {
+
+// A unit of work. Jobs live on the stack frame of the forking task, which
+// remains alive until the job completes (the forker joins before returning).
+class Job {
+ public:
+  virtual void execute() = 0;
+
+  // Set (with release ordering) by the worker that finishes executing us.
+  std::atomic<bool> done{false};
+
+ protected:
+  ~Job() = default;
+};
+
+namespace detail {
+
+template <typename F>
+class FuncJob final : public Job {
+ public:
+  explicit FuncJob(F& f) : f_(f) {}
+  void execute() override {
+    f_();
+    done.store(true, std::memory_order_release);
+  }
+
+ private:
+  F& f_;
+};
+
+}  // namespace detail
+
+// Singleton scheduler. Worker count defaults to std::thread::hardware
+// concurrency and can be overridden with the WEG_NUM_THREADS environment
+// variable (1 disables parallelism entirely; useful for deterministic
+// debugging).
+class Scheduler {
+ public:
+  static Scheduler& instance();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  int num_workers() const { return static_cast<int>(num_workers_); }
+
+  // Id of the calling thread: 0 for the main thread, 1..p-1 for workers.
+  // Threads not owned by the scheduler (e.g. user threads other than the
+  // one that first touched the scheduler) map to 0.
+  static int worker_id();
+
+  // Fork-join of exactly two branches (binary forking, as in the model).
+  template <typename L, typename R>
+  void par_do(L&& left, R&& right) {
+    if (num_workers_ == 1) {
+      left();
+      right();
+      return;
+    }
+    detail::FuncJob<R> rjob(right);
+    push_local(&rjob);
+    left();
+    if (!pop_if_present(&rjob)) {
+      wait_for(&rjob);  // stolen: help until it completes
+    } else {
+      rjob.execute();
+    }
+  }
+
+  ~Scheduler();
+
+ private:
+  Scheduler();
+
+  void push_local(Job* job);
+  // Removes `job` from the bottom of the local deque if it is still there.
+  bool pop_if_present(Job* job);
+  Job* try_steal(uint64_t& rng);
+  void wait_for(Job* job);
+  void worker_loop(int id);
+  void wake_one();
+
+  struct alignas(64) WorkerDeque {
+    std::mutex mu;
+    std::deque<Job*> jobs;
+  };
+
+  size_t num_workers_;
+  std::vector<WorkerDeque> deques_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> shutdown_{false};
+  std::atomic<int64_t> num_pending_{0};  // jobs pushed but not yet executed
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+};
+
+// Convenience free function: fork-join two branches.
+template <typename L, typename R>
+inline void par_do(L&& left, R&& right) {
+  Scheduler::instance().par_do(std::forward<L>(left), std::forward<R>(right));
+}
+
+inline int num_workers() { return Scheduler::instance().num_workers(); }
+inline int worker_id() { return Scheduler::worker_id(); }
+
+}  // namespace weg::parallel

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random utilities: SplitMix64 generator, uniform
+// helpers, and random permutation. Random permutations seed every randomized
+// incremental algorithm in the paper; a sequential Knuth shuffle is O(n)
+// reads/writes (and is only used in un-measured setup code — the measured
+// algorithms receive an already-permuted input, as the paper assumes a
+// "random order" input).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace weg::primitives {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound).
+  uint64_t next_bounded(uint64_t bound) { return next() % bound; }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Stateless hash usable as a per-index random value (deterministic across
+// runs and thread schedules).
+inline uint64_t hash64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// In-place Knuth shuffle.
+template <typename T>
+void shuffle(std::vector<T>& a, Rng& rng) {
+  for (size_t i = a.size(); i > 1; --i) {
+    size_t j = static_cast<size_t>(rng.next_bounded(i));
+    std::swap(a[i - 1], a[j]);
+  }
+}
+
+// Random permutation of [0, n).
+inline std::vector<uint32_t> random_permutation(size_t n, uint64_t seed) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  Rng rng(seed);
+  shuffle(perm, rng);
+  return perm;
+}
+
+}  // namespace weg::primitives

@@ -1,0 +1,95 @@
+// Parallel comparison sort (merge-sort with parallel merges) used as the
+// low-depth sorting black box the paper cites ([14], [24]). O(n log n) work,
+// O(log^2 n) depth. Note this baseline performs Θ(n log n) large-memory
+// writes; the paper's write-efficient sort (src/sort/) gets that down to
+// O(n). We charge one read and one write per element per merge level.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/parallel/parallel_for.h"
+
+namespace weg::primitives {
+
+namespace detail {
+
+inline constexpr size_t kSortBase = 4096;
+
+// Merges a[alo,ahi) and a[blo,bhi) into out[olo,...). Parallel: splits the
+// larger run at its midpoint and binary-searches the split key in the other.
+template <typename T, typename Less>
+void parallel_merge(const T* a, size_t alo, size_t ahi, size_t blo, size_t bhi,
+                    T* out, size_t olo, Less less) {
+  size_t an = ahi - alo, bn = bhi - blo;
+  if (an + bn <= kSortBase) {
+    std::merge(a + alo, a + ahi, a + blo, a + bhi, out + olo, less);
+    return;
+  }
+  if (an < bn) {
+    parallel_merge(a, blo, bhi, alo, ahi, out, olo, less);
+    return;
+  }
+  size_t amid = alo + an / 2;
+  size_t bmid = static_cast<size_t>(
+      std::lower_bound(a + blo, a + bhi, a[amid], less) - a);
+  size_t omid = olo + (amid - alo) + (bmid - blo);
+  parallel::par_do(
+      [&] { parallel_merge(a, alo, amid, blo, bmid, out, olo, less); },
+      [&] {
+        // a[amid] goes first in the right half to keep stability.
+        out[omid] = a[amid];
+        parallel_merge(a, amid + 1, ahi, bmid, bhi, out, omid + 1, less);
+      });
+}
+
+template <typename T, typename Less>
+void merge_sort_rec(T* a, T* buf, size_t lo, size_t hi, bool to_buf,
+                    Less less) {
+  size_t n = hi - lo;
+  if (n <= kSortBase) {
+    // The run is sorted with std::sort for speed, but charged at the
+    // model's rate: the symmetric memory holds only O(log n) words, so a
+    // faithful mergesort still writes each element once per level inside
+    // this run.
+    uint64_t levels = static_cast<uint64_t>(std::bit_width(std::max<size_t>(n, 1) - 1));
+    asym::count_read(n * levels);
+    asym::count_write(n * levels);
+    std::sort(a + lo, a + hi, less);
+    if (to_buf) std::copy(a + lo, a + hi, buf + lo);
+    return;
+  }
+  size_t mid = lo + n / 2;
+  parallel::par_do(
+      [&] { merge_sort_rec(a, buf, lo, mid, !to_buf, less); },
+      [&] { merge_sort_rec(a, buf, mid, hi, !to_buf, less); });
+  asym::count_read(n);
+  asym::count_write(n);
+  if (to_buf) {
+    parallel_merge(a, lo, mid, mid, hi, buf, lo, less);
+  } else {
+    parallel_merge(buf, lo, mid, mid, hi, a, lo, less);
+  }
+}
+
+}  // namespace detail
+
+// In-place parallel stable sort. Charges one read + one write per element per
+// merge level (Θ(n log n) writes — this is the non-write-efficient baseline).
+template <typename T, typename Less = std::less<T>>
+void sort_inplace(std::vector<T>& a, Less less = Less{}) {
+  if (a.size() <= 1) return;
+  std::vector<T> buf(a.size());
+  detail::merge_sort_rec(a.data(), buf.data(), 0, a.size(), false, less);
+}
+
+template <typename T, typename Less = std::less<T>>
+std::vector<T> sorted(std::vector<T> a, Less less = Less{}) {
+  sort_inplace(a, less);
+  return a;
+}
+
+}  // namespace weg::primitives

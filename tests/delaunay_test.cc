@@ -1,0 +1,210 @@
+// Delaunay triangulation tests (Section 5): mesh validity and the exact
+// empty-circle property across point distributions (uniform, circle, grid,
+// clusters, collinear, duplicates), agreement between the baseline and the
+// write-efficient variants, Euler-formula structure, and the Theorem 5.1
+// write bounds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/delaunay/delaunay.h"
+#include "src/primitives/random.h"
+
+namespace weg::delaunay {
+namespace {
+
+enum class Dist { kUniform, kCircle, kGrid, kClusters, kCollinearish };
+
+std::vector<geom::Point2> make_points(Dist d, size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> pts(n);
+  switch (d) {
+    case Dist::kUniform:
+      for (auto& p : pts) {
+        p[0] = rng.next_double();
+        p[1] = rng.next_double();
+      }
+      break;
+    case Dist::kCircle:
+      for (auto& p : pts) {
+        double t = rng.next_double() * 6.283185307179586;
+        p[0] = 0.5 + 0.5 * std::cos(t);
+        p[1] = 0.5 + 0.5 * std::sin(t);
+      }
+      break;
+    case Dist::kGrid: {
+      size_t side = static_cast<size_t>(std::sqrt(double(n))) + 1;
+      pts.clear();
+      for (size_t x = 0; x < side && pts.size() < n; ++x) {
+        for (size_t y = 0; y < side && pts.size() < n; ++y) {
+          geom::Point2 p;
+          p[0] = double(x);
+          p[1] = double(y);
+          pts.push_back(p);
+        }
+      }
+      primitives::shuffle(pts, rng);
+      break;
+    }
+    case Dist::kClusters:
+      for (auto& p : pts) {
+        double cx = (rng.next_bounded(4)) * 0.25;
+        double cy = (rng.next_bounded(4)) * 0.25;
+        p[0] = cx + rng.next_double() * 0.01;
+        p[1] = cy + rng.next_double() * 0.01;
+      }
+      break;
+    case Dist::kCollinearish:
+      for (size_t i = 0; i < n; ++i) {
+        pts[i][0] = double(i);
+        pts[i][1] = (i % 5 == 0) ? 1.0 : 0.0;  // mostly on a line
+      }
+      primitives::shuffle(pts, rng);
+      break;
+  }
+  return pts;
+}
+
+std::vector<uint32_t> all_ids(const Mesh& m) {
+  std::vector<uint32_t> ids;
+  for (uint32_t i = 0; i + 3 < m.vertices().size() + 0; ++i) {
+    if (i < m.vertices().size() - 3) ids.push_back(i);
+  }
+  return ids;
+}
+
+class DTDistributions
+    : public ::testing::TestWithParam<std::tuple<Dist, size_t, int>> {};
+
+TEST_P(DTDistributions, ValidDelaunayBothModes) {
+  auto [dist, n, mode_int] = GetParam();
+  Mode mode = mode_int ? Mode::kWriteEfficient : Mode::kBaseline;
+  auto pts = make_points(dist, n, 42 + n);
+  DTStats st;
+  auto mesh = triangulate(pts, mode, &st);
+  auto ids = all_ids(*mesh);
+  EXPECT_TRUE(mesh->validate(/*check_delaunay=*/true, &ids));
+  // Euler: with the bounding triangle, every inserted point is interior, so
+  // the number of alive triangles is exactly 2 * m + 1 where m is the number
+  // of distinct inserted points.
+  size_t m = mesh->vertices().size() - 3;
+  EXPECT_EQ(mesh->alive_triangles().size(), 2 * m + 1);
+  EXPECT_EQ(st.points_inserted, m);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributions, DTDistributions,
+    ::testing::Combine(::testing::Values(Dist::kUniform, Dist::kCircle,
+                                         Dist::kGrid, Dist::kClusters,
+                                         Dist::kCollinearish),
+                       ::testing::Values(3, 50, 500, 1500),
+                       ::testing::Values(0, 1)));
+
+TEST(Delaunay, TinyInputs) {
+  for (size_t n : {0ul, 1ul, 2ul}) {
+    auto pts = make_points(Dist::kUniform, n, 7);
+    auto mesh = triangulate(pts, Mode::kWriteEfficient);
+    EXPECT_TRUE(mesh->validate(false));
+    EXPECT_EQ(mesh->alive_triangles().size(), 2 * n + 1);
+  }
+}
+
+TEST(Delaunay, BothModesProduceTheSameTriangulation) {
+  // The Delaunay triangulation of symbolically perturbed points is unique,
+  // so the alive triangle sets must match exactly (as vertex triples).
+  auto pts = make_points(Dist::kUniform, 2000, 11);
+  auto m1 = triangulate(pts, Mode::kBaseline);
+  auto m2 = triangulate(pts, Mode::kWriteEfficient);
+  auto canon = [](const Mesh& m) {
+    std::set<std::array<uint32_t, 3>> tris;
+    for (uint32_t t : m.alive_triangles()) {
+      std::array<uint32_t, 3> v{m.tri(t).v[0], m.tri(t).v[1], m.tri(t).v[2]};
+      // rotate the smallest vertex first (orientation preserved)
+      int k = int(std::min_element(v.begin(), v.end()) - v.begin());
+      std::array<uint32_t, 3> c{v[size_t(k)], v[size_t((k + 1) % 3)],
+                                v[size_t((k + 2) % 3)]};
+      tris.insert(c);
+    }
+    return tris;
+  };
+  EXPECT_EQ(canon(*m1), canon(*m2));
+}
+
+TEST(Delaunay, DuplicatesAreDropped) {
+  auto pts = make_points(Dist::kUniform, 500, 13);
+  auto dup = pts;
+  dup.insert(dup.end(), pts.begin(), pts.end());  // every point twice
+  DTStats st;
+  auto mesh = triangulate(dup, Mode::kWriteEfficient, &st);
+  EXPECT_EQ(st.duplicates_dropped, pts.size());
+  EXPECT_EQ(mesh->vertices().size() - 3, pts.size());
+  EXPECT_TRUE(mesh->validate(false));
+}
+
+TEST(Delaunay, Theorem51WriteEfficiency) {
+  // WE writes stay ~linear; the baseline grows ~n log n. Check the ratio
+  // widens with n and the WE constant stays bounded.
+  double prev_ratio = 0;
+  for (size_t n : {1ul << 12, 1ul << 14}) {
+    auto pts = make_points(Dist::kUniform, n, 17);
+    DTStats sb, sw;
+    triangulate(pts, Mode::kBaseline, &sb);
+    triangulate(pts, Mode::kWriteEfficient, &sw);
+    EXPECT_LT(sw.cost.writes, sb.cost.writes);
+    double ratio = double(sb.cost.writes) / double(sw.cost.writes);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+    EXPECT_LT(sw.cost.writes, 140 * n);  // bounded writes-per-point
+  }
+}
+
+TEST(Delaunay, Figure1TracingStructureStats) {
+  // Expected |S| (cavity size) is constant (~6 by Euler); expected |R|
+  // (visited history nodes) is O(log n).
+  size_t n = 1 << 14;
+  auto pts = make_points(Dist::kUniform, n, 19);
+  DTStats st;
+  triangulate(pts, Mode::kWriteEfficient, &st);
+  double avg_cavity = double(st.cavity_triangles) / double(st.points_inserted);
+  EXPECT_GT(avg_cavity, 3.0);
+  EXPECT_LT(avg_cavity, 8.0);
+  double avg_steps = double(st.history_steps) / double(st.points_inserted);
+  EXPECT_LT(avg_steps, 10.0 * 14);  // O(log n) with a small constant
+}
+
+TEST(Delaunay, PrefixRoundsMatchSchedule) {
+  auto pts = make_points(Dist::kUniform, 1 << 12, 23);
+  DTStats sw, sb;
+  triangulate(pts, Mode::kWriteEfficient, &sw);
+  triangulate(pts, Mode::kBaseline, &sb);
+  EXPECT_GT(sw.prefix_rounds, 4u);
+  EXPECT_EQ(sb.prefix_rounds, 1u);
+}
+
+TEST(Quantize, PreservesOrderDropsDuplicates) {
+  std::vector<geom::Point2> pts(4);
+  pts[0][0] = 0.1; pts[0][1] = 0.1;
+  pts[1][0] = 0.9; pts[1][1] = 0.9;
+  pts[2][0] = 0.1; pts[2][1] = 0.1;  // duplicate of 0
+  pts[3][0] = 0.5; pts[3][1] = 0.5;
+  size_t dropped = 0;
+  auto g = quantize(pts, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(g.size(), 3u);
+  for (size_t i = 0; i < g.size(); ++i) EXPECT_EQ(g[i].id, i);
+  EXPECT_EQ(g[0].x, 0);  // min maps to 0
+}
+
+TEST(Quantize, CoordinatesWithinGrid) {
+  auto pts = make_points(Dist::kUniform, 1000, 29);
+  auto g = quantize(pts);
+  for (auto& p : g) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, int64_t{1} << 24);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, int64_t{1} << 24);
+  }
+}
+
+}  // namespace
+}  // namespace weg::delaunay

@@ -1,0 +1,197 @@
+// Geometry predicate tests: exact signs, symbolic-perturbation properties
+// (never-zero, antisymmetry, permutation parity, consistency on degenerate
+// inputs), and box utilities.
+#include <gtest/gtest.h>
+
+#include "src/geom/box.h"
+#include "src/geom/predicates.h"
+#include "src/primitives/random.h"
+
+namespace weg::geom {
+namespace {
+
+GridPoint gp(int64_t x, int64_t y, uint32_t id) { return GridPoint{x, y, id}; }
+
+TEST(Orient2D, ExactBasicSigns) {
+  EXPECT_GT(orient2d_exact(gp(0, 0, 0), gp(1, 0, 1), gp(0, 1, 2)), 0);  // CCW
+  EXPECT_LT(orient2d_exact(gp(0, 0, 0), gp(0, 1, 1), gp(1, 0, 2)), 0);  // CW
+  EXPECT_EQ(orient2d_exact(gp(0, 0, 0), gp(1, 1, 1), gp(2, 2, 2)), 0);
+}
+
+TEST(Orient2D, ExactLargeCoordinatesNoOverflow) {
+  int64_t big = int64_t{1} << 28;
+  EXPECT_GT(orient2d_exact(gp(-big, -big, 0), gp(big, -big, 1), gp(0, big, 2)),
+            0);
+}
+
+TEST(Orient2D, SosNeverZero) {
+  primitives::Rng rng(1);
+  for (int t = 0; t < 2000; ++t) {
+    // Many collinear triples (small grid).
+    GridPoint a = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 0);
+    GridPoint b = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 1);
+    GridPoint c = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 2);
+    if ((a.x == b.x && a.y == b.y) || (a.x == c.x && a.y == c.y) ||
+        (b.x == c.x && b.y == c.y)) {
+      continue;  // coincident points are excluded by dedup upstream
+    }
+    EXPECT_NE(orient2d_sos(a, b, c), 0);
+  }
+}
+
+TEST(Orient2D, SosAgreesWithExactWhenNondegenerate) {
+  primitives::Rng rng(2);
+  for (int t = 0; t < 2000; ++t) {
+    GridPoint a = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 0);
+    GridPoint b = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 1);
+    GridPoint c = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 2);
+    int ex = orient2d_exact(a, b, c);
+    if (ex != 0) EXPECT_EQ(orient2d_sos(a, b, c), ex);
+  }
+}
+
+TEST(Orient2D, SosPermutationParity) {
+  // Swapping two arguments flips the sign — even for degenerate triples.
+  primitives::Rng rng(3);
+  for (int t = 0; t < 2000; ++t) {
+    GridPoint a = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 7);
+    GridPoint b = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 13);
+    GridPoint c = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 29);
+    if ((a.x == b.x && a.y == b.y) || (a.x == c.x && a.y == c.y) ||
+        (b.x == c.x && b.y == c.y)) {
+      continue;
+    }
+    int s = orient2d_sos(a, b, c);
+    EXPECT_EQ(orient2d_sos(b, a, c), -s);
+    EXPECT_EQ(orient2d_sos(a, c, b), -s);
+    EXPECT_EQ(orient2d_sos(b, c, a), s);  // cyclic
+    EXPECT_EQ(orient2d_sos(c, a, b), s);
+  }
+}
+
+TEST(InCircle, ExactBasic) {
+  // Unit-ish circle through (0,0),(4,0),(0,4); (1,1) inside, (5,5) outside.
+  GridPoint a = gp(0, 0, 0), b = gp(4, 0, 1), c = gp(0, 4, 2);
+  ASSERT_GT(orient2d_exact(a, b, c), 0);
+  EXPECT_GT(in_circle_exact(a, b, c, gp(1, 1, 3)), 0);
+  EXPECT_LT(in_circle_exact(a, b, c, gp(5, 5, 3)), 0);
+  EXPECT_EQ(in_circle_exact(a, b, c, gp(4, 4, 3)), 0);  // cocircular
+}
+
+TEST(InCircle, SosDecidesCocircular) {
+  GridPoint a = gp(0, 0, 0), b = gp(4, 0, 1), c = gp(0, 4, 2);
+  GridPoint d = gp(4, 4, 3);  // exactly on the circle
+  // The perturbed predicate must be decisive and consistent: d inside abc
+  // iff NOT (a inside bcd-reversed orientation) etc. We check decisiveness
+  // and rotation invariance here.
+  bool in1 = in_circle_sos(a, b, c, d);
+  bool in2 = in_circle_sos(b, c, a, d);
+  bool in3 = in_circle_sos(c, a, b, d);
+  EXPECT_EQ(in1, in2);
+  EXPECT_EQ(in1, in3);
+}
+
+TEST(InCircle, SosSymmetryAcrossTheCircle) {
+  // For four cocircular points, "d in circle(a,b,c)" and "a in circle(d,c,b)"
+  // (both CCW) must be consistent under the same perturbation: exactly one
+  // of each opposite pair of diagonals flips. We verify via Delaunay-flip
+  // consistency: in the square, exactly one diagonal is chosen.
+  GridPoint a = gp(0, 0, 0), b = gp(2, 0, 1), c = gp(2, 2, 2), d = gp(0, 2, 3);
+  // Triangles (a,b,c) + (a,c,d) vs (a,b,d) + (b,c,d).
+  bool flip1 = in_circle_sos(a, b, c, d);  // d encroaches abc?
+  bool flip2 = in_circle_sos(a, c, d, b);  // b encroaches acd?
+  // Both triangulations of the square cannot be simultaneously "illegal".
+  EXPECT_EQ(flip1, flip2);
+  bool alt1 = in_circle_sos(a, b, d, c);
+  bool alt2 = in_circle_sos(b, c, d, a);
+  EXPECT_EQ(alt1, alt2);
+  EXPECT_NE(flip1, alt1);  // exactly one diagonal is Delaunay
+}
+
+TEST(InCircle, StrictInsideUnaffectedByPerturbation) {
+  primitives::Rng rng(4);
+  for (int t = 0; t < 1000; ++t) {
+    GridPoint a = gp(0, 0, 0), b = gp(100, 0, 1), c = gp(0, 100, 2);
+    int64_t x = (int64_t)rng.next_bounded(60) + 10;
+    int64_t y = (int64_t)rng.next_bounded(60) + 10;
+    GridPoint d = gp(x, y, 3);
+    if (in_circle_exact(a, b, c, d) > 0) {
+      EXPECT_TRUE(in_circle_sos(a, b, c, d));
+    } else if (in_circle_exact(a, b, c, d) < 0) {
+      EXPECT_FALSE(in_circle_sos(a, b, c, d));
+    }
+  }
+}
+
+TEST(InTriangle, SosBasic) {
+  GridPoint a = gp(0, 0, 0), b = gp(10, 0, 1), c = gp(0, 10, 2);
+  EXPECT_TRUE(in_triangle_sos(a, b, c, gp(2, 2, 3)));
+  EXPECT_FALSE(in_triangle_sos(a, b, c, gp(20, 20, 3)));
+}
+
+TEST(Box, ExtendAndContains) {
+  auto b = BoxK<2>::empty();
+  Point2 p1, p2;
+  p1[0] = 0;
+  p1[1] = 0;
+  p2[0] = 2;
+  p2[1] = 3;
+  b.extend(p1);
+  b.extend(p2);
+  Point2 mid;
+  mid[0] = 1;
+  mid[1] = 1.5;
+  EXPECT_TRUE(b.contains(mid));
+  EXPECT_TRUE(b.contains(p1));
+  Point2 out;
+  out[0] = -1;
+  out[1] = 0;
+  EXPECT_FALSE(b.contains(out));
+}
+
+TEST(Box, IntersectsAndInside) {
+  Box2 a, b;
+  a.lo[0] = 0; a.lo[1] = 0; a.hi[0] = 2; a.hi[1] = 2;
+  b.lo[0] = 1; b.lo[1] = 1; b.hi[0] = 3; b.hi[1] = 3;
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_FALSE(a.inside(b));
+  Box2 c;
+  c.lo[0] = 0.5; c.lo[1] = 0.5; c.hi[0] = 1.5; c.hi[1] = 1.5;
+  EXPECT_TRUE(c.inside(a));
+  Box2 d;
+  d.lo[0] = 5; d.lo[1] = 5; d.hi[0] = 6; d.hi[1] = 6;
+  EXPECT_FALSE(a.intersects(d));
+}
+
+TEST(Box, SquaredDistance) {
+  Box2 a;
+  a.lo[0] = 0; a.lo[1] = 0; a.hi[0] = 1; a.hi[1] = 1;
+  Point2 in;
+  in[0] = 0.5;
+  in[1] = 0.5;
+  EXPECT_DOUBLE_EQ(a.squared_distance(in), 0.0);
+  Point2 right;
+  right[0] = 3;
+  right[1] = 0.5;
+  EXPECT_DOUBLE_EQ(a.squared_distance(right), 4.0);
+  Point2 corner;
+  corner[0] = 2;
+  corner[1] = 2;
+  EXPECT_DOUBLE_EQ(a.squared_distance(corner), 2.0);
+}
+
+TEST(Box, LongestDimension) {
+  Box2 a;
+  a.lo[0] = 0; a.lo[1] = 0; a.hi[0] = 1; a.hi[1] = 5;
+  EXPECT_EQ(a.longest_dimension(), 1);
+}
+
+TEST(Point, Distances) {
+  Point2 a, b;
+  a[0] = 0; a[1] = 0; b[0] = 3; b[1] = 4;
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+}  // namespace
+}  // namespace weg::geom

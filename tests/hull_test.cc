@@ -1,0 +1,128 @@
+// Convex hull tests (Section 2.2): both sort modes against a brute-force
+// containment check, degenerate inputs, and the write-efficiency of the
+// WE-sorted variant.
+#include <gtest/gtest.h>
+
+#include "src/hull/hull.h"
+#include "src/primitives/random.h"
+
+namespace weg::hull {
+namespace {
+
+std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> pts(n);
+  for (auto& p : pts) {
+    p[0] = rng.next_double();
+    p[1] = rng.next_double();
+  }
+  return pts;
+}
+
+double cross(const geom::Point2& o, const geom::Point2& a,
+             const geom::Point2& b) {
+  return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
+}
+
+// Checks that `hull` (CCW indices) is convex and contains all points.
+void check_hull(const std::vector<geom::Point2>& pts,
+                const std::vector<uint32_t>& hull) {
+  ASSERT_GE(hull.size(), 1u);
+  size_t h = hull.size();
+  if (h < 3) return;
+  for (size_t i = 0; i < h; ++i) {
+    const auto& a = pts[hull[i]];
+    const auto& b = pts[hull[(i + 1) % h]];
+    const auto& c = pts[hull[(i + 2) % h]];
+    EXPECT_GT(cross(a, b, c), 0) << "hull not strictly convex at " << i;
+  }
+  for (const auto& p : pts) {
+    for (size_t i = 0; i < h; ++i) {
+      const auto& a = pts[hull[i]];
+      const auto& b = pts[hull[(i + 1) % h]];
+      EXPECT_GE(cross(a, b, p), -1e-12) << "point outside hull";
+    }
+  }
+}
+
+class HullSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(HullSizes, BothModesProduceValidHulls) {
+  size_t n = GetParam();
+  auto pts = random_points(n, 7 + n);
+  auto h1 = convex_hull(pts, SortMode::kClassic);
+  auto h2 = convex_hull(pts, SortMode::kWriteEfficient);
+  check_hull(pts, h1);
+  check_hull(pts, h2);
+  EXPECT_EQ(h1.size(), h2.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HullSizes,
+                         ::testing::Values(1, 2, 3, 4, 10, 1000, 50000));
+
+TEST(Hull, SquareCorners) {
+  std::vector<geom::Point2> pts(5);
+  pts[0][0] = 0; pts[0][1] = 0;
+  pts[1][0] = 1; pts[1][1] = 0;
+  pts[2][0] = 1; pts[2][1] = 1;
+  pts[3][0] = 0; pts[3][1] = 1;
+  pts[4][0] = 0.5; pts[4][1] = 0.5;  // interior
+  auto h = convex_hull(pts);
+  EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(Hull, CollinearPointsExcluded) {
+  std::vector<geom::Point2> pts;
+  for (int i = 0; i <= 10; ++i) {
+    geom::Point2 p;
+    p[0] = double(i);
+    p[1] = double(i);  // all on a line
+    pts.push_back(p);
+  }
+  geom::Point2 apex;
+  apex[0] = 5;
+  apex[1] = 20;
+  pts.push_back(apex);
+  auto h = convex_hull(pts);
+  EXPECT_EQ(h.size(), 3u);  // two line endpoints + apex
+}
+
+TEST(Hull, PointsOnCircleAllOnHull) {
+  size_t n = 500;
+  std::vector<geom::Point2> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    double t = 6.283185307179586 * double(i) / double(n);
+    pts[i][0] = std::cos(t);
+    pts[i][1] = std::sin(t);
+  }
+  auto h = convex_hull(pts);
+  EXPECT_EQ(h.size(), n);
+}
+
+TEST(Hull, VerticalDuplicatesHandled) {
+  std::vector<geom::Point2> pts;
+  for (int y = 0; y < 5; ++y) {
+    geom::Point2 p;
+    p[0] = 0.0;
+    p[1] = double(y);
+    pts.push_back(p);
+    p[0] = 1.0;
+    pts.push_back(p);
+  }
+  auto h = convex_hull(pts, SortMode::kWriteEfficient);
+  check_hull(pts, h);
+  EXPECT_EQ(h.size(), 4u);
+}
+
+TEST(Hull, WriteEfficientModeWritesLess) {
+  size_t n = 1 << 17;
+  auto pts = random_points(n, 9);
+  HullStats sc, sw;
+  convex_hull(pts, SortMode::kClassic, &sc);
+  convex_hull(pts, SortMode::kWriteEfficient, &sw);
+  EXPECT_EQ(sc.hull_size, sw.hull_size);
+  EXPECT_LT(sw.cost.writes, sc.cost.writes);
+}
+
+}  // namespace
+}  // namespace weg::hull

@@ -1,0 +1,178 @@
+// Cross-module integration tests: different structures answering the same
+// geometric questions must agree, and the write-efficient variants must beat
+// their classic counterparts end-to-end at a fixed scale.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/augtree/interval_tree.h"
+#include "src/augtree/priority_tree.h"
+#include "src/augtree/range_tree.h"
+#include "src/delaunay/delaunay.h"
+#include "src/hull/hull.h"
+#include "src/kdtree/kdtree.h"
+#include "src/kdtree/pbatched.h"
+#include "src/primitives/random.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg {
+namespace {
+
+std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> pts(n);
+  for (auto& p : pts) {
+    p[0] = rng.next_double();
+    p[1] = rng.next_double();
+  }
+  return pts;
+}
+
+TEST(Integration, KdTreeAndRangeTreeAgreeOnRangeQueries) {
+  size_t n = 20000;
+  auto pts = random_points(n, 1);
+  std::vector<augtree::PPoint> ppts(n);
+  for (size_t i = 0; i < n; ++i) {
+    ppts[i] = augtree::PPoint{pts[i][0], pts[i][1], uint32_t(i)};
+  }
+  auto kd = kdtree::PBatchedBuilder<2>::build(pts);
+  auto rt = augtree::StaticRangeTree::build(ppts);
+  auto art = augtree::AlphaRangeTree::build(ppts, 8);
+  primitives::Rng rng(2);
+  for (int q = 0; q < 30; ++q) {
+    double xl = rng.next_double() * 0.7, xr = xl + rng.next_double() * 0.3;
+    double yb = rng.next_double() * 0.7, yt = yb + rng.next_double() * 0.3;
+    geom::Box2 box;
+    box.lo[0] = xl;
+    box.hi[0] = xr;
+    box.lo[1] = yb;
+    box.hi[1] = yt;
+    size_t a = kd.range_count(box);
+    size_t b = rt.query_count(xl, xr, yb, yt);
+    size_t c = art.query_count(xl, xr, yb, yt);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a, c);
+  }
+}
+
+TEST(Integration, PriorityTreeMatchesRangeTreeOn3SidedQueries) {
+  size_t n = 10000;
+  auto pts = random_points(n, 3);
+  std::vector<augtree::PPoint> ppts(n);
+  for (size_t i = 0; i < n; ++i) {
+    ppts[i] = augtree::PPoint{pts[i][0], pts[i][1], uint32_t(i)};
+  }
+  auto pt = augtree::StaticPriorityTree::build_postsorted(ppts);
+  auto rt = augtree::StaticRangeTree::build(ppts);
+  primitives::Rng rng(4);
+  for (int q = 0; q < 30; ++q) {
+    double xl = rng.next_double() * 0.7, xr = xl + rng.next_double() * 0.3;
+    double yb = rng.next_double();
+    // 3-sided = range query with yt = +inf.
+    EXPECT_EQ(pt.query_count(xl, xr, yb), rt.query_count(xl, xr, yb, 2.0));
+  }
+}
+
+TEST(Integration, HullVerticesAreDelaunayBoundaryVertices) {
+  // Every convex hull vertex must appear in the Delaunay triangulation as a
+  // vertex of some triangle adjacent to the bounding vertices.
+  size_t n = 2000;
+  auto pts = random_points(n, 5);
+  auto hull = hull::convex_hull(pts);
+  delaunay::DTStats st;
+  auto mesh = delaunay::triangulate(pts, delaunay::Mode::kWriteEfficient, &st);
+  ASSERT_EQ(st.duplicates_dropped, 0u);
+  uint32_t bound_lo = uint32_t(mesh->vertices().size() - 3);
+  std::set<uint32_t> boundary_adjacent;
+  for (uint32_t t : mesh->alive_triangles()) {
+    const auto& tr = mesh->tri(t);
+    bool touches = tr.v[0] >= bound_lo || tr.v[1] >= bound_lo ||
+                   tr.v[2] >= bound_lo;
+    if (!touches) continue;
+    for (int k = 0; k < 3; ++k) {
+      if (tr.v[k] < bound_lo) boundary_adjacent.insert(tr.v[k]);
+    }
+  }
+  // Quantization can merge/move points slightly; require the vast majority
+  // of hull vertices to be boundary-adjacent in the mesh.
+  size_t hits = 0;
+  for (uint32_t h : hull) hits += boundary_adjacent.count(h);
+  EXPECT_GE(hits * 10, hull.size() * 9);
+}
+
+TEST(Integration, InnerSortersAgree) {
+  primitives::Rng rng(6);
+  std::vector<uint64_t> keys(100000);
+  for (auto& k : keys) k = rng.next();
+  auto a = sort::incremental_sort_classic(keys);
+  auto b = sort::incremental_sort_we(keys);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Integration, WriteEfficiencyAcrossTheBoard) {
+  // One end-to-end check per structure: at n = 2^15, every write-efficient
+  // construction must perform fewer large-memory writes than its classic
+  // counterpart (Table 1 + Theorems 4.1/5.1/6.1/7.1 at a fixed scale).
+  size_t n = 1 << 15;
+  auto pts = random_points(n, 7);
+  std::vector<augtree::PPoint> ppts(n);
+  std::vector<augtree::Interval> ivs(n);
+  std::vector<uint64_t> keys(n);
+  primitives::Rng rng(8);
+  for (size_t i = 0; i < n; ++i) {
+    ppts[i] = augtree::PPoint{pts[i][0], pts[i][1], uint32_t(i)};
+    ivs[i] = augtree::Interval{pts[i][0], pts[i][0] + 0.01 + pts[i][1] * 0.05,
+                               uint32_t(i)};
+    keys[i] = rng.next();
+  }
+
+  sort::SortStats sc, sw;
+  sort::incremental_sort_classic(keys, &sc);
+  sort::incremental_sort_we(keys, &sw);
+  EXPECT_LT(sw.cost.writes, sc.cost.writes) << "sort";
+
+  delaunay::DTStats db, dw;
+  delaunay::triangulate(pts, delaunay::Mode::kBaseline, &db);
+  delaunay::triangulate(pts, delaunay::Mode::kWriteEfficient, &dw);
+  EXPECT_LT(dw.cost.writes, db.cost.writes) << "delaunay";
+
+  kdtree::BuildStats kc, kp;
+  kdtree::KdTree<2>::build_classic(pts, 8, &kc);
+  kdtree::PBatchedBuilder<2>::build(pts, 0, 8, &kp);
+  EXPECT_LT(kp.cost.writes, kc.cost.writes) << "kdtree";
+
+  augtree::StaticIntervalTree::Stats ic, ip;
+  augtree::StaticIntervalTree::build_classic(ivs, &ic);
+  augtree::StaticIntervalTree::build_postsorted(ivs, &ip);
+  EXPECT_LT(ip.cost.writes, ic.cost.writes) << "interval tree";
+
+  augtree::StaticPriorityTree::Stats pc, pp;
+  augtree::StaticPriorityTree::build_classic(ppts, &pc);
+  augtree::StaticPriorityTree::build_postsorted(ppts, &pp);
+  EXPECT_LT(pp.cost.writes, pc.cost.writes) << "priority tree";
+
+  augtree::StaticRangeTree::Stats rc;
+  augtree::StaticRangeTree::build(ppts, &rc);
+  asym::Counts ra;
+  augtree::AlphaRangeTree::build(ppts, 8, &ra);
+  EXPECT_LT(ra.writes, rc.cost.writes) << "range tree";
+}
+
+TEST(Integration, AsymWorkCrossoverWithOmega) {
+  // At ω = 1 the classic interval construction can win on total work (the
+  // WE variant reads more); at large ω the WE variant must win — the
+  // crossover the paper's model predicts.
+  size_t n = 1 << 15;
+  auto pts = random_points(n, 9);
+  std::vector<augtree::Interval> ivs(n);
+  for (size_t i = 0; i < n; ++i) {
+    ivs[i] = augtree::Interval{pts[i][0], pts[i][0] + 0.02, uint32_t(i)};
+  }
+  augtree::StaticIntervalTree::Stats ic, ip;
+  augtree::StaticIntervalTree::build_classic(ivs, &ic);
+  augtree::StaticIntervalTree::build_postsorted(ivs, &ip);
+  EXPECT_LT(ip.cost.work(40.0), ic.cost.work(40.0));
+}
+
+}  // namespace
+}  // namespace weg

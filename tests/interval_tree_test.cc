@@ -1,0 +1,267 @@
+// Interval tree tests (Sections 7.1-7.3): static classic vs post-sorted
+// construction equivalence and write bounds (Theorem 7.1), stabbing queries
+// against brute force across interval patterns (including duplicate and
+// degenerate endpoints), and the α-labeled dynamic tree under mixed
+// workloads with structural validation (Corollary 7.2 path statistics).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/augtree/interval_tree.h"
+#include "src/primitives/random.h"
+
+namespace weg::augtree {
+namespace {
+
+enum class Pattern { kShort, kMixed, kNested, kPointLike, kSharedEndpoints };
+
+std::vector<Interval> make_intervals(Pattern pat, size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<Interval> ivs(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a, b;
+    switch (pat) {
+      case Pattern::kShort:
+        a = rng.next_double();
+        b = a + rng.next_double() * 0.01;
+        break;
+      case Pattern::kMixed:
+        a = rng.next_double();
+        b = a + rng.next_double() * rng.next_double();
+        break;
+      case Pattern::kNested:
+        a = 0.5 - double(i + 1) / double(2 * n + 4);
+        b = 0.5 + double(i + 1) / double(2 * n + 4);
+        break;
+      case Pattern::kPointLike:
+        a = rng.next_double();
+        b = a;  // zero length
+        break;
+      case Pattern::kSharedEndpoints:
+        a = double(rng.next_bounded(20)) / 20.0;
+        b = a + double(1 + rng.next_bounded(5)) / 20.0;
+        break;
+    }
+    ivs[i] = Interval{a, b, uint32_t(i)};
+  }
+  return ivs;
+}
+
+size_t brute_stab(const std::vector<Interval>& ivs, double q) {
+  size_t c = 0;
+  for (auto& iv : ivs) c += iv.contains(q) ? 1 : 0;
+  return c;
+}
+
+class StaticIT
+    : public ::testing::TestWithParam<std::tuple<Pattern, size_t>> {};
+
+TEST_P(StaticIT, BothBuildsAnswerStabsCorrectly) {
+  auto [pat, n] = GetParam();
+  auto ivs = make_intervals(pat, n, 31 + n);
+  auto tc = StaticIntervalTree::build_classic(ivs);
+  auto tp = StaticIntervalTree::build_postsorted(ivs);
+  EXPECT_TRUE(tc.validate(ivs));
+  EXPECT_TRUE(tp.validate(ivs));
+  primitives::Rng rng(n + 1);
+  for (int t = 0; t < 25; ++t) {
+    double q = rng.next_double();
+    size_t ref = brute_stab(ivs, q);
+    EXPECT_EQ(tc.stab(q).size(), ref);
+    EXPECT_EQ(tp.stab(q).size(), ref);
+    EXPECT_EQ(tc.stab_count(q), ref);
+    EXPECT_EQ(tp.stab_count(q), ref);
+  }
+  // Query exactly at endpoints too (tie handling).
+  for (size_t i = 0; i < std::min<size_t>(n, 10); ++i) {
+    for (double q : {ivs[i].l, ivs[i].r}) {
+      size_t ref = brute_stab(ivs, q);
+      EXPECT_EQ(tc.stab(q).size(), ref) << "endpoint query";
+      EXPECT_EQ(tp.stab(q).size(), ref) << "endpoint query";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, StaticIT,
+    ::testing::Combine(::testing::Values(Pattern::kShort, Pattern::kMixed,
+                                         Pattern::kNested, Pattern::kPointLike,
+                                         Pattern::kSharedEndpoints),
+                       ::testing::Values(1, 2, 16, 300, 5000)));
+
+TEST(StaticIT, EmptyTree) {
+  std::vector<Interval> none;
+  auto t = StaticIntervalTree::build_postsorted(none);
+  EXPECT_TRUE(t.stab(0.5).empty());
+  EXPECT_EQ(t.stab_count(0.5), 0u);
+}
+
+TEST(StaticIT, StabReturnsActualIds) {
+  auto ivs = make_intervals(Pattern::kMixed, 500, 33);
+  auto t = StaticIntervalTree::build_postsorted(ivs);
+  double q = 0.5;
+  auto ids = t.stab(q);
+  for (uint32_t id : ids) EXPECT_TRUE(ivs[id].contains(q));
+}
+
+TEST(StaticIT, Theorem71WriteBound) {
+  // Post-sorted construction writes grow ~linearly; the classic baseline
+  // grows ~n log n: the ratio must widen and the WE constant stay bounded.
+  double prev_ratio = 0;
+  for (size_t n : {1ul << 14, 1ul << 17}) {
+    auto ivs = make_intervals(Pattern::kMixed, n, 35);
+    StaticIntervalTree::Stats sc, sp;
+    StaticIntervalTree::build_classic(ivs, &sc);
+    StaticIntervalTree::build_postsorted(ivs, &sp);
+    EXPECT_LT(sp.cost.writes, sc.cost.writes) << "n=" << n;
+    double ratio = double(sc.cost.writes) / double(sp.cost.writes);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+    EXPECT_LT(sp.cost.writes, 32 * n);
+  }
+}
+
+TEST(StaticIT, CountingQueryWritesNothing) {
+  auto ivs = make_intervals(Pattern::kMixed, 10000, 37);
+  auto t = StaticIntervalTree::build_postsorted(ivs);
+  asym::Region r;
+  t.stab_count(0.5);
+  EXPECT_EQ(r.delta().writes, 0u);
+}
+
+class DynamicIT : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicIT, MixedWorkloadMatchesBrute) {
+  uint64_t alpha = GetParam();
+  DynamicIntervalTree t(alpha);
+  primitives::Rng rng(39 + alpha);
+  std::vector<Interval> alive;
+  uint32_t next_id = 0;
+  for (size_t op = 0; op < 6000; ++op) {
+    uint64_t r = rng.next_bounded(10);
+    if (r < 6 || alive.empty()) {
+      double a = rng.next_double();
+      Interval iv{a, a + rng.next_double() * 0.2, next_id++};
+      t.insert(iv);
+      alive.push_back(iv);
+    } else if (r < 8) {
+      size_t i = rng.next_bounded(alive.size());
+      ASSERT_TRUE(t.erase(alive[i]));
+      alive.erase(alive.begin() + long(i));
+    } else {
+      double q = rng.next_double();
+      ASSERT_EQ(t.stab(q).size(), brute_stab(alive, q)) << "op " << op;
+      ASSERT_EQ(t.stab_count_scan(q), brute_stab(alive, q));
+    }
+  }
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), alive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DynamicIT,
+                         ::testing::Values(2, 4, 8, 16, 64));
+
+TEST(DynamicIT, EraseSemantics) {
+  DynamicIntervalTree t(4);
+  Interval a{0.1, 0.5, 1}, b{0.2, 0.6, 2};
+  t.insert(a);
+  t.insert(b);
+  EXPECT_FALSE(t.erase(Interval{0.1, 0.5, 99}));  // wrong id
+  EXPECT_TRUE(t.erase(a));
+  EXPECT_FALSE(t.erase(a));  // already erased
+  EXPECT_EQ(t.stab(0.3).size(), 1u);
+}
+
+TEST(DynamicIT, Corollary72PathStatistics) {
+  // The number of critical nodes on any root-leaf path is O(log_alpha n) and
+  // the total path length is O(alpha log_alpha n).
+  for (uint64_t alpha : {2ull, 8ull}) {
+    DynamicIntervalTree t(alpha);
+    primitives::Rng rng(41);
+    size_t n = 20000;
+    for (uint32_t i = 0; i < n; ++i) {
+      double a = rng.next_double();
+      t.insert(Interval{a, a + 0.01, i});
+    }
+    double la = std::log(double(2 * n)) / std::log(double(alpha));
+    EXPECT_LE(t.critical_on_path_max(), size_t(4 * la + 10))
+        << "alpha=" << alpha;
+    EXPECT_LE(t.height(), size_t(double(4 * alpha + 2) * la + 20))
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(DynamicIT, LargerAlphaFewerUpdateWrites) {
+  // Theorem 7.4: writes per update scale as log_alpha n.
+  size_t n = 30000;
+  uint64_t w2, w16;
+  for (uint64_t alpha : {2ull, 16ull}) {
+    DynamicIntervalTree t(alpha);
+    primitives::Rng rng(43);
+    // warm up
+    for (uint32_t i = 0; i < n; ++i) {
+      double a = rng.next_double();
+      t.insert(Interval{a, a + 0.01, i});
+    }
+    asym::Region r;
+    for (uint32_t i = 0; i < 2000; ++i) {
+      double a = rng.next_double();
+      t.insert(Interval{a, a + 0.01, n + i});
+    }
+    (alpha == 2 ? w2 : w16) = r.delta().writes;
+  }
+  EXPECT_LT(w16, w2);
+}
+
+TEST(DynamicIT, BulkInsertMatchesIncremental) {
+  primitives::Rng rng(45);
+  auto base = make_intervals(Pattern::kMixed, 3000, 47);
+  auto batch = make_intervals(Pattern::kShort, 2000, 49);
+  for (auto& iv : batch) iv.id += 10000;
+  DynamicIntervalTree t(4);
+  for (auto& iv : base) t.insert(iv);
+  t.bulk_insert(batch);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), base.size() + batch.size());
+  std::vector<Interval> all = base;
+  all.insert(all.end(), batch.begin(), batch.end());
+  for (int q = 0; q < 25; ++q) {
+    double x = rng.next_double();
+    EXPECT_EQ(t.stab(x).size(), brute_stab(all, x));
+  }
+}
+
+TEST(DynamicIT, BulkInsertIntoEmpty) {
+  DynamicIntervalTree t(4);
+  auto batch = make_intervals(Pattern::kMixed, 1000, 51);
+  t.bulk_insert(batch);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), batch.size());
+  EXPECT_EQ(t.stab(0.5).size(), brute_stab(batch, 0.5));
+}
+
+TEST(DynamicIT, BulkInsertWritesLessThanIncremental) {
+  // Section 7.3.5: a large bulk costs fewer writes than one-by-one inserts.
+  auto base = make_intervals(Pattern::kMixed, 5000, 53);
+  auto batch = make_intervals(Pattern::kMixed, 5000, 55);
+  for (auto& iv : batch) iv.id += 100000;
+  uint64_t bulk_writes, incr_writes;
+  {
+    DynamicIntervalTree t(4);
+    for (auto& iv : base) t.insert(iv);
+    asym::Region r;
+    t.bulk_insert(batch);
+    bulk_writes = r.delta().writes;
+  }
+  {
+    DynamicIntervalTree t(4);
+    for (auto& iv : base) t.insert(iv);
+    asym::Region r;
+    for (auto& iv : batch) t.insert(iv);
+    incr_writes = r.delta().writes;
+  }
+  EXPECT_LT(bulk_writes, incr_writes);
+}
+
+}  // namespace
+}  // namespace weg::augtree

@@ -1,0 +1,210 @@
+// Dynamic k-d tree tests (Section 6.2): the logarithmic-reconstruction
+// forest (classic and p-batched rebuild modes) and the single-tree
+// reconstruction-based variant, under mixed insert/erase/query workloads
+// checked against a brute-force shadow set.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/kdtree/dynamic.h"
+#include "src/primitives/random.h"
+
+namespace weg::kdtree {
+namespace {
+
+std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> pts(n);
+  for (auto& p : pts) {
+    p[0] = rng.next_double();
+    p[1] = rng.next_double();
+  }
+  return pts;
+}
+
+geom::Box2 box(double xlo, double ylo, double xhi, double yhi) {
+  geom::Box2 b;
+  b.lo[0] = xlo;
+  b.lo[1] = ylo;
+  b.hi[0] = xhi;
+  b.hi[1] = yhi;
+  return b;
+}
+
+template <typename Structure>
+void mixed_workload_test(Structure& s, uint64_t seed, size_t ops) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Point2> alive;
+  auto pool = random_points(ops, seed + 1);
+  size_t next = 0;
+  for (size_t op = 0; op < ops; ++op) {
+    uint64_t r = rng.next_bounded(10);
+    if (r < 6 || alive.empty()) {
+      auto p = pool[next++];
+      s.insert(p);
+      alive.push_back(p);
+    } else if (r < 8) {
+      size_t i = rng.next_bounded(alive.size());
+      ASSERT_TRUE(s.erase(alive[i]));
+      alive.erase(alive.begin() + long(i));
+    } else {
+      auto q = box(rng.next_double() * 0.7, rng.next_double() * 0.7,
+                   rng.next_double() * 0.3 + 0.7, rng.next_double() * 0.3 + 0.7);
+      size_t brute = 0;
+      for (auto& p : alive) brute += q.contains(p) ? 1 : 0;
+      ASSERT_EQ(s.range_count(q), brute) << "op " << op;
+    }
+  }
+  ASSERT_EQ(s.size(), alive.size());
+}
+
+TEST(LogForest, MixedWorkloadClassicRebuild) {
+  LogForest<2> f(LogForest<2>::RebuildMode::kClassic);
+  mixed_workload_test(f, 1, 4000);
+}
+
+TEST(LogForest, MixedWorkloadPBatchedRebuild) {
+  LogForest<2> f(LogForest<2>::RebuildMode::kPBatched);
+  mixed_workload_test(f, 2, 4000);
+}
+
+TEST(DynamicKdTree, MixedWorkloadRangeOptimal) {
+  DynamicKdTree<2> t(DynamicKdTree<2>::Mode::kRangeOptimal);
+  mixed_workload_test(t, 3, 4000);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicKdTree, MixedWorkloadAnnOnly) {
+  DynamicKdTree<2> t(DynamicKdTree<2>::Mode::kAnnOnly);
+  mixed_workload_test(t, 4, 4000);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(LogForest, NumTreesIsLogarithmic) {
+  LogForest<2> f;
+  auto pts = random_points(3000, 5);
+  for (auto& p : pts) f.insert(p);
+  EXPECT_LE(f.num_trees(), 13u);  // <= log2(3000) + 1
+  EXPECT_EQ(f.size(), pts.size());
+}
+
+TEST(LogForest, EraseMissingReturnsFalse) {
+  LogForest<2> f;
+  auto pts = random_points(100, 6);
+  for (auto& p : pts) f.insert(p);
+  geom::Point2 absent;
+  absent[0] = 5;
+  absent[1] = 5;
+  EXPECT_FALSE(f.erase(absent));
+  EXPECT_TRUE(f.erase(pts[0]));
+  EXPECT_FALSE(f.erase(pts[0]));  // already gone
+}
+
+TEST(LogForest, AnnFindsNearestAmongAlive) {
+  LogForest<2> f;
+  auto pts = random_points(2000, 7);
+  for (auto& p : pts) f.insert(p);
+  for (size_t i = 0; i < 1000; ++i) ASSERT_TRUE(f.erase(pts[i]));
+  primitives::Rng rng(8);
+  for (int q = 0; q < 20; ++q) {
+    geom::Point2 query;
+    query[0] = rng.next_double();
+    query[1] = rng.next_double();
+    double best = 1e300;
+    for (size_t i = 1000; i < pts.size(); ++i) {
+      best = std::min(best, geom::squared_distance(pts[i], query));
+    }
+    auto got = f.ann(query, 0.0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(geom::squared_distance(*got, query), best);
+  }
+}
+
+TEST(DynamicKdTree, AnnAfterDeletions) {
+  DynamicKdTree<2> t;
+  auto pts = random_points(2000, 9);
+  for (auto& p : pts) t.insert(p);
+  for (size_t i = 0; i < 1000; ++i) ASSERT_TRUE(t.erase(pts[i]));
+  primitives::Rng rng(10);
+  for (int q = 0; q < 20; ++q) {
+    geom::Point2 query;
+    query[0] = rng.next_double();
+    query[1] = rng.next_double();
+    double best = 1e300;
+    for (size_t i = 1000; i < pts.size(); ++i) {
+      best = std::min(best, geom::squared_distance(pts[i], query));
+    }
+    auto got = t.ann(query, 0.0);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_DOUBLE_EQ(geom::squared_distance(*got, query), best);
+  }
+}
+
+TEST(DynamicKdTree, HeightStaysLogarithmic) {
+  DynamicKdTree<2> t(DynamicKdTree<2>::Mode::kRangeOptimal);
+  auto pts = random_points(20000, 11);
+  for (auto& p : pts) t.insert(p);
+  // log2(20000/8) ~ 11.3; reconstruction keeps us within a small additive
+  // slack of the balanced height.
+  EXPECT_LE(t.height(), 16u);
+  EXPECT_GT(t.rebuilds(), 0u);
+}
+
+TEST(DynamicKdTree, SortedInsertionOrderStillBalanced) {
+  // Adversarial (sorted) insertion order: reconstruction must keep the tree
+  // balanced where a plain incremental k-d tree would degenerate.
+  DynamicKdTree<2> t;
+  for (size_t i = 0; i < 8000; ++i) {
+    geom::Point2 p;
+    p[0] = double(i) / 8000;
+    p[1] = double(i) / 8000;
+    t.insert(p);
+  }
+  EXPECT_LE(t.height(), 15u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(DynamicKdTree, RangeReportMatchesCount) {
+  DynamicKdTree<2> t;
+  auto pts = random_points(5000, 12);
+  for (auto& p : pts) t.insert(p);
+  auto q = box(0.2, 0.2, 0.6, 0.6);
+  EXPECT_EQ(t.range_report(q).size(), t.range_count(q));
+}
+
+TEST(LogForest, PBatchedRebuildWritesLess) {
+  // Section 6.2: p-batched reconstruction cuts insertion writes by a log
+  // factor relative to classic reconstruction.
+  size_t n = 1 << 14;
+  auto pts = random_points(n, 13);
+  asym::Counts classic, pbatched;
+  {
+    LogForest<2> f(LogForest<2>::RebuildMode::kClassic);
+    asym::Region r;
+    for (auto& p : pts) f.insert(p);
+    classic = r.delta();
+  }
+  {
+    LogForest<2> f(LogForest<2>::RebuildMode::kPBatched);
+    asym::Region r;
+    for (auto& p : pts) f.insert(p);
+    pbatched = r.delta();
+  }
+  EXPECT_LT(pbatched.writes, classic.writes);
+}
+
+TEST(DynamicKdTree, EmptyAndSingleton) {
+  DynamicKdTree<2> t;
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_FALSE(t.ann(geom::Point2{}).has_value());
+  geom::Point2 p;
+  p[0] = 0.5;
+  p[1] = 0.5;
+  t.insert(p);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_TRUE(t.erase(p));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+}  // namespace
+}  // namespace weg::kdtree

@@ -1,0 +1,255 @@
+// Static k-d tree tests (Section 6.1): classic and p-batched builders across
+// sizes / dimensions / leaf sizes / p values, validation of the split
+// invariants, range and (A)NN queries against brute force, the Lemma 6.2
+// height bound, and the Theorem 6.1 write bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/kdtree/kdtree.h"
+#include "src/kdtree/pbatched.h"
+#include "src/primitives/random.h"
+
+namespace weg::kdtree {
+namespace {
+
+template <int K>
+std::vector<geom::PointK<K>> random_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::PointK<K>> pts(n);
+  for (auto& p : pts) {
+    for (int d = 0; d < K; ++d) p[d] = rng.next_double();
+  }
+  return pts;
+}
+
+template <int K>
+geom::BoxK<K> random_box(primitives::Rng& rng, double extent) {
+  geom::BoxK<K> b;
+  for (int d = 0; d < K; ++d) {
+    b.lo[d] = rng.next_double() * (1 - extent);
+    b.hi[d] = b.lo[d] + rng.next_double() * extent;
+  }
+  return b;
+}
+
+template <int K>
+size_t brute_count(const std::vector<geom::PointK<K>>& pts,
+                   const geom::BoxK<K>& q) {
+  size_t c = 0;
+  for (auto& p : pts) c += q.contains(p) ? 1 : 0;
+  return c;
+}
+
+class KdBuild
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, int>> {};
+
+TEST_P(KdBuild, ClassicValidatesAndAnswersRangeQueries) {
+  auto [n, leaf, pbatched] = GetParam();
+  auto pts = random_points<2>(n, 100 + n);
+  KdTree<2> t = pbatched ? PBatchedBuilder<2>::build(pts, 0, leaf)
+                         : KdTree<2>::build_classic(pts, leaf);
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), n);
+  primitives::Rng rng(n);
+  for (int q = 0; q < 10; ++q) {
+    auto box = random_box<2>(rng, 0.3);
+    EXPECT_EQ(t.range_count(box), brute_count(pts, box));
+    EXPECT_EQ(t.range_report(box).size(), brute_count(pts, box));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, KdBuild,
+    ::testing::Combine(::testing::Values(0, 1, 2, 17, 1000, 20000),
+                       ::testing::Values(1, 8, 32),
+                       ::testing::Values(0, 1)));
+
+TEST(KdTree, ThreeDimensional) {
+  auto pts = random_points<3>(5000, 7);
+  auto t1 = KdTree<3>::build_classic(pts);
+  auto t2 = PBatchedBuilder<3>::build(pts);
+  EXPECT_TRUE(t1.validate());
+  EXPECT_TRUE(t2.validate());
+  primitives::Rng rng(8);
+  for (int q = 0; q < 10; ++q) {
+    auto box = random_box<3>(rng, 0.5);
+    size_t ref = brute_count(pts, box);
+    EXPECT_EQ(t1.range_count(box), ref);
+    EXPECT_EQ(t2.range_count(box), ref);
+  }
+}
+
+TEST(KdTree, ExactNearestNeighborMatchesBrute) {
+  auto pts = random_points<2>(20000, 9);
+  auto t = KdTree<2>::build_classic(pts);
+  primitives::Rng rng(10);
+  for (int q = 0; q < 50; ++q) {
+    geom::Point2 query;
+    query[0] = rng.next_double();
+    query[1] = rng.next_double();
+    size_t best = 0;
+    double bd = 1e300;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double d = geom::squared_distance(pts[i], query);
+      if (d < bd) {
+        bd = d;
+        best = i;
+      }
+    }
+    size_t got = t.ann(query, 0.0);
+    EXPECT_DOUBLE_EQ(geom::squared_distance(t.points()[got], query), bd)
+        << "query " << q << " brute idx " << best;
+  }
+}
+
+TEST(KdTree, ApproximateNNWithinFactor) {
+  auto pts = random_points<2>(20000, 11);
+  auto t = PBatchedBuilder<2>::build(pts);
+  primitives::Rng rng(12);
+  double eps = 0.5;
+  for (int q = 0; q < 50; ++q) {
+    geom::Point2 query;
+    query[0] = rng.next_double();
+    query[1] = rng.next_double();
+    double bd = 1e300;
+    for (auto& p : pts) bd = std::min(bd, geom::squared_distance(p, query));
+    size_t got = t.ann(query, eps);
+    double gd = geom::squared_distance(t.points()[got], query);
+    EXPECT_LE(std::sqrt(gd), (1 + eps) * std::sqrt(bd) + 1e-12);
+  }
+}
+
+TEST(KdTree, KnnMatchesBruteForce) {
+  auto pts = random_points<2>(5000, 13);
+  auto t = KdTree<2>::build_classic(pts);
+  primitives::Rng rng(14);
+  for (size_t k : {1ul, 5ul, 32ul}) {
+    geom::Point2 query;
+    query[0] = rng.next_double();
+    query[1] = rng.next_double();
+    std::vector<double> dists;
+    for (auto& p : pts) dists.push_back(geom::squared_distance(p, query));
+    std::sort(dists.begin(), dists.end());
+    auto got = t.knn(query, k);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      EXPECT_DOUBLE_EQ(geom::squared_distance(t.points()[got[i]], query),
+                       dists[i]);
+    }
+  }
+}
+
+TEST(KdTree, KnnLargerThanSizeReturnsAll) {
+  auto pts = random_points<2>(10, 15);
+  auto t = KdTree<2>::build_classic(pts);
+  geom::Point2 q;
+  q[0] = 0.5;
+  q[1] = 0.5;
+  EXPECT_EQ(t.knn(q, 100).size(), 10u);
+}
+
+TEST(KdTree, FindLocatesEveryPoint) {
+  auto pts = random_points<2>(3000, 16);
+  auto t = PBatchedBuilder<2>::build(pts);
+  for (auto& p : pts) {
+    size_t idx = t.find(p);
+    ASSERT_NE(idx, SIZE_MAX);
+    EXPECT_EQ(t.points()[idx], p);
+  }
+  geom::Point2 absent;
+  absent[0] = 2.0;
+  absent[1] = 2.0;
+  EXPECT_EQ(t.find(absent), SIZE_MAX);
+}
+
+TEST(PBatched, Lemma62HeightBound) {
+  // p = Omega(log^3 n) keeps the height within log2(n/leaf) + O(1) of the
+  // perfectly balanced height.
+  size_t n = 1 << 16;
+  auto pts = random_points<2>(n, 17);
+  BuildStats sc, sp;
+  auto tc = KdTree<2>::build_classic(pts, 8, &sc);
+  auto tp = PBatchedBuilder<2>::build(pts, 0, 8, &sp);
+  EXPECT_LE(sp.height, sc.height + 3);
+}
+
+TEST(PBatched, SettleBuffersAreOrderP) {
+  size_t n = 1 << 16;
+  auto pts = random_points<2>(n, 18);
+  double lg = std::log2(double(n));
+  size_t p = size_t(lg * lg * lg) + 8;
+  BuildStats st;
+  PBatchedBuilder<2>::build(pts, p, 8, &st);
+  EXPECT_GT(st.settles, 0u);
+  EXPECT_LT(st.max_settle_buffer, 5 * p);  // O(p) whp
+}
+
+TEST(PBatched, Theorem61WriteBound) {
+  double prev_ratio = 0;
+  for (size_t n : {1ul << 14, 1ul << 17}) {
+    auto pts = random_points<2>(n, 19);
+    BuildStats sc, sp;
+    KdTree<2>::build_classic(pts, 8, &sc);
+    PBatchedBuilder<2>::build(pts, 0, 8, &sp);
+    EXPECT_LT(sp.cost.writes, sc.cost.writes);
+    double ratio = double(sc.cost.writes) / double(sp.cost.writes);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+    EXPECT_LT(sp.cost.writes, 15 * n);
+  }
+}
+
+TEST(PBatched, SmallPStillCorrect) {
+  auto pts = random_points<2>(5000, 20);
+  for (size_t p : {1ul, 4ul, 64ul, 5000ul}) {
+    auto t = PBatchedBuilder<2>::build(pts, p, 8);
+    EXPECT_TRUE(t.validate()) << "p=" << p;
+    EXPECT_EQ(t.size(), pts.size());
+  }
+}
+
+TEST(KdTree, DuplicatePointsSupported) {
+  auto pts = random_points<2>(500, 21);
+  auto dup = pts;
+  dup.insert(dup.end(), pts.begin(), pts.end());
+  auto t = KdTree<2>::build_classic(dup);
+  auto tp = PBatchedBuilder<2>::build(dup);
+  EXPECT_TRUE(t.validate());
+  EXPECT_TRUE(tp.validate());
+  geom::Box2 all;
+  all.lo[0] = all.lo[1] = -1;
+  all.hi[0] = all.hi[1] = 2;
+  EXPECT_EQ(t.range_count(all), dup.size());
+  EXPECT_EQ(tp.range_count(all), dup.size());
+}
+
+TEST(KdTree, QueryStatsPopulated) {
+  auto pts = random_points<2>(10000, 22);
+  auto t = KdTree<2>::build_classic(pts);
+  QueryStats qs;
+  geom::Box2 b;
+  b.lo[0] = b.lo[1] = 0.4;
+  b.hi[0] = b.hi[1] = 0.6;
+  t.range_count(b, &qs);
+  EXPECT_GT(qs.nodes_visited, 0u);
+  EXPECT_GT(qs.points_scanned, 0u);
+}
+
+TEST(KdTree, RangeQueryCostSublinear) {
+  // Lemma 6.1: a 2-d range query visits O(sqrt(n)) nodes (plus output).
+  size_t n = 1 << 16;
+  auto pts = random_points<2>(n, 23);
+  auto t = PBatchedBuilder<2>::build(pts);
+  QueryStats qs;
+  geom::Box2 thin;  // a thin slab: output small, structure cost dominates
+  thin.lo[0] = 0.5;
+  thin.hi[0] = 0.5005;
+  thin.lo[1] = -1;
+  thin.hi[1] = 2;
+  t.range_count(thin, &qs);
+  EXPECT_LT(qs.nodes_visited, 60 * size_t(std::sqrt(double(n))));
+}
+
+}  // namespace
+}  // namespace weg::kdtree

@@ -1,0 +1,156 @@
+// Scheduler and priority-write tests: fork-join correctness, nesting,
+// granularity, and the priority-write (write_min/write_max) semantics that
+// the paper's model assumes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/priority_write.h"
+#include "src/parallel/scheduler.h"
+
+namespace weg::parallel {
+namespace {
+
+TEST(Scheduler, HasWorkers) {
+  EXPECT_GE(num_workers(), 1);
+}
+
+TEST(ParDo, BothBranchesRun) {
+  int a = 0, b = 0;
+  par_do([&] { a = 1; }, [&] { b = 2; });
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 2);
+}
+
+TEST(ParDo, NestedFibonacci) {
+  // Heavy nesting exercises help-while-wait (stealing during joins).
+  auto fib = [](auto&& self, int n) -> long {
+    if (n <= 1) return n;
+    long x = 0, y = 0;
+    par_do([&] { x = self(self, n - 1); }, [&] { y = self(self, n - 2); });
+    return x + y;
+  };
+  EXPECT_EQ(fib(fib, 20), 6765);
+}
+
+TEST(ParDo, ExceptionsNotRequiredButSequentialFallbackWorks) {
+  // Single-element ranges run inline.
+  std::atomic<int> count{0};
+  parallel_for(0, 1, [&](size_t) { count++; });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParDo3, AllThreeRun) {
+  std::atomic<int> mask{0};
+  par_do3([&] { mask |= 1; }, [&] { mask |= 2; }, [&] { mask |= 4; });
+  EXPECT_EQ(mask.load(), 7);
+}
+
+class ParallelForSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ParallelForSizes, CoversEveryIndexExactlyOnce) {
+  size_t n = GetParam();
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(0, n, [&](size_t i) { hits[i]++; });
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST_P(ParallelForSizes, SumMatchesSerial) {
+  size_t n = GetParam();
+  std::atomic<uint64_t> sum{0};
+  parallel_for(0, n, [&](size_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), n * (n - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForSizes,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 1000, 12345,
+                                           100000));
+
+TEST(ParallelFor, ExplicitGrainStillCovers) {
+  for (size_t grain : {1ul, 2ul, 17ul, 4096ul}) {
+    std::vector<std::atomic<int>> hits(5000);
+    parallel_for(0, hits.size(), [&](size_t i) { hits[i]++; }, grain);
+    for (auto& h : hits) ASSERT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, SubrangeRespected) {
+  std::vector<int> v(100, 0);
+  parallel_for(10, 90, [&](size_t i) { v[i] = 1; });
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(v[i], (i >= 10 && i < 90) ? 1 : 0);
+}
+
+TEST(WriteMin, SequentialSemantics) {
+  std::atomic<int> x{100};
+  EXPECT_TRUE(write_min(&x, 50));
+  EXPECT_EQ(x.load(), 50);
+  EXPECT_FALSE(write_min(&x, 70));
+  EXPECT_EQ(x.load(), 50);
+  EXPECT_FALSE(write_min(&x, 50));
+}
+
+TEST(WriteMax, SequentialSemantics) {
+  std::atomic<int> x{0};
+  EXPECT_TRUE(write_max(&x, 5));
+  EXPECT_FALSE(write_max(&x, 3));
+  EXPECT_EQ(x.load(), 5);
+}
+
+TEST(WriteMin, ConcurrentMinimumSurvives) {
+  // The defining property of the model's priority-write.
+  for (int trial = 0; trial < 20; ++trial) {
+    std::atomic<uint32_t> x{UINT32_MAX};
+    parallel_for(0, 10000, [&](size_t i) {
+      write_min(&x, static_cast<uint32_t>((i * 7919) % 10000 + 1));
+    });
+    EXPECT_EQ(x.load(), 1u);
+  }
+}
+
+TEST(WriteMax, ConcurrentMaximumSurvives) {
+  std::atomic<uint64_t> x{0};
+  parallel_for(0, 50000, [&](size_t i) { write_max(&x, (uint64_t)i); });
+  EXPECT_EQ(x.load(), 49999u);
+}
+
+TEST(WriteMin, CustomComparator) {
+  // Priority by second component.
+  std::atomic<uint64_t> x{~uint64_t{0}};
+  auto less = [](uint64_t a, uint64_t b) { return (a & 0xff) < (b & 0xff); };
+  parallel_for(0, 1000, [&](size_t i) {
+    write_min(&x, (uint64_t(i) << 8) | ((i * 31) % 256), less);
+  });
+  EXPECT_EQ(x.load() & 0xff, 0u);
+}
+
+TEST(Scheduler, WorkerIdsInRange) {
+  std::atomic<bool> ok{true};
+  parallel_for(0, 100000, [&](size_t) {
+    int id = worker_id();
+    if (id < 0 || id >= num_workers()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(Scheduler, DeterministicResultUnderRaces) {
+  // Result of a reduction must not depend on scheduling.
+  uint64_t first = 0;
+  for (int t = 0; t < 5; ++t) {
+    std::vector<uint64_t> v(100000);
+    parallel_for(0, v.size(), [&](size_t i) { v[i] = i * i; });
+    uint64_t sum = std::accumulate(v.begin(), v.end(), uint64_t{0});
+    if (t == 0) {
+      first = sum;
+    } else {
+      EXPECT_EQ(sum, first);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace weg::parallel

@@ -1,0 +1,232 @@
+// Parallel primitives tests: reduce/scan/pack/filter/map against serial
+// references (parameterized over sizes), the sorting black boxes, counting /
+// radix / semisort grouping invariants, and the RNG utilities.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "src/primitives/random.h"
+#include "src/primitives/semisort.h"
+#include "src/primitives/sequence.h"
+#include "src/primitives/sort.h"
+
+namespace weg::primitives {
+namespace {
+
+std::vector<uint64_t> random_vec(size_t n, uint64_t seed, uint64_t range) {
+  Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = range ? rng.next() % range : rng.next();
+  return v;
+}
+
+class SeqSizes : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SeqSizes, ReduceAddMatchesSerial) {
+  auto v = random_vec(GetParam(), 1, 1000);
+  uint64_t expect = std::accumulate(v.begin(), v.end(), uint64_t{0});
+  EXPECT_EQ(reduce_add(v), expect);
+}
+
+TEST_P(SeqSizes, ReduceCustomMonoid) {
+  auto v = random_vec(GetParam(), 2, 0);
+  uint64_t expect = 0;
+  for (auto x : v) expect = std::max(expect, x);
+  EXPECT_EQ(reduce(v, uint64_t{0},
+                   [](uint64_t a, uint64_t b) { return std::max(a, b); }),
+            expect);
+}
+
+TEST_P(SeqSizes, ScanExclusiveMatchesSerial) {
+  auto v = random_vec(GetParam(), 3, 100);
+  auto ref = v;
+  uint64_t acc = 0;
+  for (auto& x : ref) {
+    uint64_t t = x;
+    x = acc;
+    acc += t;
+  }
+  auto copy = v;
+  uint64_t total = scan_exclusive(copy);
+  EXPECT_EQ(total, acc);
+  EXPECT_EQ(copy, ref);
+}
+
+TEST_P(SeqSizes, PackKeepsFlaggedInOrder) {
+  auto v = random_vec(GetParam(), 4, 100);
+  auto packed = pack(v, [&](size_t i) { return v[i] % 3 == 0; });
+  std::vector<uint64_t> ref;
+  for (auto x : v) {
+    if (x % 3 == 0) ref.push_back(x);
+  }
+  EXPECT_EQ(packed, ref);
+}
+
+TEST_P(SeqSizes, FilterEqualsPack) {
+  auto v = random_vec(GetParam(), 5, 50);
+  auto f = filter(v, [](uint64_t x) { return x < 25; });
+  auto p = pack(v, [&](size_t i) { return v[i] < 25; });
+  EXPECT_EQ(f, p);
+}
+
+TEST_P(SeqSizes, MapApplies) {
+  auto v = random_vec(GetParam(), 6, 1000);
+  auto m = map(v, [](uint64_t x) { return x * 2 + 1; });
+  ASSERT_EQ(m.size(), v.size());
+  for (size_t i = 0; i < v.size(); ++i) ASSERT_EQ(m[i], v[i] * 2 + 1);
+}
+
+TEST_P(SeqSizes, TabulateProducesIndices) {
+  size_t n = GetParam();
+  auto t = tabulate(n, [](size_t i) { return i * i; });
+  ASSERT_EQ(t.size(), n);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(t[i], i * i);
+}
+
+TEST_P(SeqSizes, SortInplaceSorts) {
+  auto v = random_vec(GetParam(), 7, 0);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  sort_inplace(v);
+  EXPECT_EQ(v, ref);
+}
+
+TEST_P(SeqSizes, SortWithDuplicates) {
+  auto v = random_vec(GetParam(), 8, 5);
+  auto ref = v;
+  std::sort(ref.begin(), ref.end());
+  sort_inplace(v);
+  EXPECT_EQ(v, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SeqSizes,
+                         ::testing::Values(0, 1, 2, 5, 100, 4096, 5000,
+                                           100000));
+
+TEST(Sort, CustomComparator) {
+  auto v = random_vec(10000, 9, 0);
+  sort_inplace(v, std::greater<uint64_t>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<uint64_t>{}));
+}
+
+TEST(Sort, ChargesNLogNWrites) {
+  size_t n = 1 << 16;
+  auto v = random_vec(n, 10, 0);
+  asym::Region r;
+  sort_inplace(v);
+  auto d = r.delta();
+  // Mergesort: at least one write per element per merge level above the
+  // sequential base case.
+  EXPECT_GT(d.writes, n * 2);
+}
+
+TEST(CountingSort, StableAndGrouped) {
+  auto v = random_vec(20000, 11, 64);
+  std::vector<std::pair<uint64_t, uint32_t>> recs(v.size());
+  for (size_t i = 0; i < v.size(); ++i) recs[i] = {v[i], (uint32_t)i};
+  auto offsets = counting_sort(recs, 64,
+                               [](const auto& r) { return (size_t)r.first; });
+  ASSERT_EQ(offsets.size(), 65u);
+  EXPECT_EQ(offsets[64], recs.size());
+  for (size_t k = 0; k < 64; ++k) {
+    for (size_t i = offsets[k]; i < offsets[k + 1]; ++i) {
+      ASSERT_EQ(recs[i].first, k);
+      if (i > offsets[k]) ASSERT_LT(recs[i - 1].second, recs[i].second)
+          << "stability violated";
+    }
+  }
+}
+
+TEST(RadixSort, SortsBoundedKeys) {
+  for (uint64_t range : {100ull, 70000ull, 1ull << 22}) {
+    auto v = random_vec(30000, 12 + range, range);
+    auto ref = v;
+    std::sort(ref.begin(), ref.end());
+    radix_sort(v, range, [](uint64_t x) { return x; });
+    EXPECT_EQ(v, ref) << "range=" << range;
+  }
+}
+
+TEST(Semisort, GroupsEqualKeys) {
+  auto v = random_vec(50000, 13, 500);
+  auto groups = semisort_by(v, [](uint64_t x) { return x; });
+  // Every group uniform; all keys covered; group count == distinct keys.
+  std::map<uint64_t, size_t> hist;
+  for (auto x : v) hist[x]++;
+  ASSERT_EQ(groups.back(), v.size());
+  size_t num_groups = groups.size() - 1;
+  EXPECT_EQ(num_groups, hist.size());
+  for (size_t g = 0; g + 1 < groups.size(); ++g) {
+    uint64_t key = v[groups[g]];
+    for (size_t i = groups[g]; i < groups[g + 1]; ++i) ASSERT_EQ(v[i], key);
+    ASSERT_EQ(groups[g + 1] - groups[g], hist[key]);
+  }
+}
+
+TEST(Semisort, SingletonAndEmpty) {
+  std::vector<uint64_t> empty;
+  auto g0 = semisort_by(empty, [](uint64_t x) { return x; });
+  EXPECT_EQ(g0, std::vector<size_t>{0});
+  std::vector<uint64_t> one{42};
+  auto g1 = semisort_by(one, [](uint64_t x) { return x; });
+  ASSERT_EQ(g1.size(), 2u);
+}
+
+TEST(Semisort, LinearWrites) {
+  // The write-efficiency contract: semisort writes O(n), not O(n log n).
+  size_t n = 1 << 18;
+  auto v = random_vec(n, 14, n / 4);
+  asym::Region r;
+  semisort_by(v, [](uint64_t x) { return x; });
+  auto d = r.delta();
+  EXPECT_LT(d.writes, 4 * n);
+}
+
+TEST(Rng, DeterministicAndDistinct) {
+  Rng a(1), b(1), c(2);
+  EXPECT_EQ(a.next(), b.next());
+  EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, BoundedInRange) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) ASSERT_LT(rng.next_bounded(17), 17u);
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  auto p = random_permutation(10000, 5);
+  std::vector<uint8_t> seen(10000, 0);
+  for (auto x : p) {
+    ASSERT_LT(x, 10000u);
+    ASSERT_EQ(seen[x], 0);
+    seen[x] = 1;
+  }
+}
+
+TEST(RandomPermutation, SeedsDiffer) {
+  EXPECT_NE(random_permutation(1000, 1), random_permutation(1000, 2));
+}
+
+TEST(Hash64, DeterministicAndSpreads) {
+  EXPECT_EQ(hash64(123), hash64(123));
+  // Low bits should differ across consecutive inputs (avalanche sanity).
+  int diff = 0;
+  for (uint64_t i = 0; i < 64; ++i) {
+    if ((hash64(i) & 1) != (hash64(i + 1) & 1)) ++diff;
+  }
+  EXPECT_GT(diff, 16);
+}
+
+}  // namespace
+}  // namespace weg::primitives

@@ -1,0 +1,200 @@
+// Priority search tree tests (Sections 7.1-7.3, Appendix A): classic vs
+// post-sorted construction (heap + x-partition invariants, Theorem 7.1 write
+// bounds, small-memory base cases), 3-sided queries against brute force, and
+// the α-labeled dynamic tree under mixed workloads.
+#include <gtest/gtest.h>
+
+#include "src/augtree/priority_tree.h"
+#include "src/primitives/random.h"
+
+namespace weg::augtree {
+namespace {
+
+std::vector<PPoint> make_points(size_t n, uint64_t seed, bool grid = false) {
+  primitives::Rng rng(seed);
+  std::vector<PPoint> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (grid) {
+      pts[i] = PPoint{double(rng.next_bounded(30)) / 30.0,
+                      double(rng.next_bounded(30)) / 30.0, uint32_t(i)};
+    } else {
+      pts[i] = PPoint{rng.next_double(), rng.next_double(), uint32_t(i)};
+    }
+  }
+  return pts;
+}
+
+size_t brute_3sided(const std::vector<PPoint>& pts, double xl, double xr,
+                    double yb) {
+  size_t c = 0;
+  for (auto& p : pts) c += (p.x >= xl && p.x <= xr && p.y >= yb) ? 1 : 0;
+  return c;
+}
+
+class StaticPT : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+TEST_P(StaticPT, BothBuildsValidateAndQuery) {
+  auto [n, grid] = GetParam();
+  auto pts = make_points(n, 61 + n, grid);
+  StaticPriorityTree::Stats sc, sp;
+  auto tc = StaticPriorityTree::build_classic(pts, &sc);
+  auto tp = StaticPriorityTree::build_postsorted(pts, &sp);
+  EXPECT_TRUE(tc.validate());
+  EXPECT_TRUE(tp.validate());
+  EXPECT_EQ(tc.size(), n);
+  EXPECT_EQ(tp.size(), n);
+  primitives::Rng rng(n + 2);
+  for (int t = 0; t < 25; ++t) {
+    double xl = rng.next_double() * 0.8;
+    double xr = xl + rng.next_double() * 0.3;
+    double yb = rng.next_double();
+    size_t ref = brute_3sided(pts, xl, xr, yb);
+    EXPECT_EQ(tc.query(xl, xr, yb).size(), ref);
+    EXPECT_EQ(tp.query(xl, xr, yb).size(), ref);
+    EXPECT_EQ(tc.query_count(xl, xr, yb), ref);
+    EXPECT_EQ(tp.query_count(xl, xr, yb), ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StaticPT,
+    ::testing::Combine(::testing::Values(0, 1, 2, 10, 333, 5000),
+                       ::testing::Bool()));
+
+TEST(StaticPT, QueryReturnsActualIds) {
+  auto pts = make_points(1000, 63);
+  auto t = StaticPriorityTree::build_postsorted(pts);
+  auto ids = t.query(0.2, 0.6, 0.5);
+  for (uint32_t id : ids) {
+    EXPECT_GE(pts[id].x, 0.2);
+    EXPECT_LE(pts[id].x, 0.6);
+    EXPECT_GE(pts[id].y, 0.5);
+  }
+}
+
+TEST(StaticPT, Theorem71WriteBound) {
+  double prev_ratio = 0;
+  for (size_t n : {1ul << 14, 1ul << 17}) {
+    auto pts = make_points(n, 65);
+    StaticPriorityTree::Stats sc, sp;
+    StaticPriorityTree::build_classic(pts, &sc);
+    StaticPriorityTree::build_postsorted(pts, &sp);
+    EXPECT_LT(sp.cost.writes, sc.cost.writes);
+    double ratio = double(sc.cost.writes) / double(sp.cost.writes);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+    EXPECT_LT(sp.cost.writes, 20 * n);
+  }
+}
+
+TEST(StaticPT, PostsortedUsesSmallMemoryBaseCases) {
+  auto pts = make_points(1 << 14, 67);
+  StaticPriorityTree::Stats st;
+  StaticPriorityTree::build_postsorted(pts, &st);
+  EXPECT_GT(st.smallmem_base_cases, 0u);
+}
+
+TEST(StaticPT, HeapRootIsGlobalMax) {
+  auto pts = make_points(4000, 69);
+  auto t = StaticPriorityTree::build_postsorted(pts);
+  double best = -1;
+  for (auto& p : pts) best = std::max(best, p.y);
+  // The root must be reported by any query covering everything.
+  auto ids = t.query(-1, 2, best);
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(pts[ids[0]].y, best);
+}
+
+class DynamicPT : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicPT, MixedWorkloadMatchesBrute) {
+  uint64_t alpha = GetParam();
+  DynamicPriorityTree t(alpha);
+  primitives::Rng rng(71 + alpha);
+  std::vector<PPoint> alive;
+  uint32_t next_id = 0;
+  for (size_t op = 0; op < 6000; ++op) {
+    uint64_t r = rng.next_bounded(10);
+    if (r < 6 || alive.empty()) {
+      PPoint p{rng.next_double(), rng.next_double(), next_id++};
+      t.insert(p);
+      alive.push_back(p);
+    } else if (r < 8) {
+      size_t i = rng.next_bounded(alive.size());
+      ASSERT_TRUE(t.erase(alive[i]));
+      alive.erase(alive.begin() + long(i));
+    } else {
+      double xl = rng.next_double() * 0.8;
+      double xr = xl + rng.next_double() * 0.3;
+      double yb = rng.next_double();
+      ASSERT_EQ(t.query(xl, xr, yb).size(), brute_3sided(alive, xl, xr, yb))
+          << "op " << op;
+      ASSERT_EQ(t.query_count(xl, xr, yb), brute_3sided(alive, xl, xr, yb));
+    }
+  }
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), alive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, DynamicPT, ::testing::Values(2, 4, 8, 32));
+
+TEST(DynamicPT, EraseMissingReturnsFalse) {
+  DynamicPriorityTree t(4);
+  t.insert(PPoint{0.5, 0.5, 1});
+  EXPECT_FALSE(t.erase(PPoint{0.5, 0.5, 2}));
+  EXPECT_TRUE(t.erase(PPoint{0.5, 0.5, 1}));
+  EXPECT_FALSE(t.erase(PPoint{0.5, 0.5, 1}));
+}
+
+TEST(DynamicPT, DeadPointsStillPruneButAreNotReported) {
+  DynamicPriorityTree t(4);
+  // The max-y point dies; queries must not report it but must still find
+  // everything below.
+  t.insert(PPoint{0.5, 0.9, 1});
+  for (uint32_t i = 2; i < 100; ++i) {
+    t.insert(PPoint{double(i) / 100, 0.5 * double(i) / 100, i});
+  }
+  ASSERT_TRUE(t.erase(PPoint{0.5, 0.9, 1}));
+  auto ids = t.query(0, 1, 0.0);
+  EXPECT_EQ(ids.size(), 98u);
+  for (uint32_t id : ids) EXPECT_NE(id, 1u);
+}
+
+TEST(DynamicPT, LargerAlphaFewerUpdateWrites) {
+  size_t n = 30000;
+  uint64_t w2 = 0, w16 = 0;
+  for (uint64_t alpha : {2ull, 16ull}) {
+    DynamicPriorityTree t(alpha);
+    primitives::Rng rng(73);
+    for (uint32_t i = 0; i < n; ++i) {
+      t.insert(PPoint{rng.next_double(), rng.next_double(), i});
+    }
+    asym::Region r;
+    for (uint32_t i = 0; i < 2000; ++i) {
+      t.insert(PPoint{rng.next_double(), rng.next_double(), uint32_t(n) + i});
+    }
+    (alpha == 2 ? w2 : w16) = r.delta().writes;
+  }
+  EXPECT_LT(w16, w2);
+}
+
+TEST(DynamicPT, DuplicateXCoordinates) {
+  DynamicPriorityTree t(4);
+  primitives::Rng rng(75);
+  std::vector<PPoint> pts;
+  for (uint32_t i = 0; i < 500; ++i) {
+    pts.push_back(PPoint{double(i % 10) / 10.0, rng.next_double(), i});
+    t.insert(pts.back());
+  }
+  EXPECT_TRUE(t.validate());
+  for (int q = 0; q < 10; ++q) {
+    double xl = rng.next_double() * 0.5, xr = xl + 0.3;
+    double yb = rng.next_double();
+    EXPECT_EQ(t.query(xl, xr, yb).size(), brute_3sided(pts, xl, xr, yb));
+  }
+  for (uint32_t i = 0; i < 500; i += 3) ASSERT_TRUE(t.erase(pts[i]));
+  EXPECT_TRUE(t.validate());
+}
+
+}  // namespace
+}  // namespace weg::augtree

@@ -1,0 +1,185 @@
+// 2D range tree tests (Sections 7.1, 7.3.4): the classic full-augmentation
+// tree vs the α-labeled tree (inner trees only at critical nodes), range
+// reporting/counting against brute force, construction write bounds (Table 1
+// last rows), augmentation-size scaling in α, and dynamic mixed workloads.
+#include <gtest/gtest.h>
+
+#include "src/augtree/range_tree.h"
+#include "src/primitives/random.h"
+
+namespace weg::augtree {
+namespace {
+
+std::vector<PPoint> make_points(size_t n, uint64_t seed, bool grid = false) {
+  primitives::Rng rng(seed);
+  std::vector<PPoint> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (grid) {
+      pts[i] = PPoint{double(rng.next_bounded(25)) / 25.0,
+                      double(rng.next_bounded(25)) / 25.0, uint32_t(i)};
+    } else {
+      pts[i] = PPoint{rng.next_double(), rng.next_double(), uint32_t(i)};
+    }
+  }
+  return pts;
+}
+
+size_t brute(const std::vector<PPoint>& pts, double xl, double xr, double yb,
+             double yt) {
+  size_t c = 0;
+  for (auto& p : pts) {
+    c += (p.x >= xl && p.x <= xr && p.y >= yb && p.y <= yt) ? 1 : 0;
+  }
+  return c;
+}
+
+class StaticRT : public ::testing::TestWithParam<std::tuple<size_t, bool>> {};
+
+TEST_P(StaticRT, QueriesMatchBrute) {
+  auto [n, grid] = GetParam();
+  auto pts = make_points(n, 81 + n, grid);
+  auto t = StaticRangeTree::build(pts);
+  EXPECT_TRUE(t.validate());
+  primitives::Rng rng(n + 3);
+  for (int q = 0; q < 25; ++q) {
+    double xl = rng.next_double() * 0.8, xr = xl + rng.next_double() * 0.3;
+    double yb = rng.next_double() * 0.8, yt = yb + rng.next_double() * 0.3;
+    size_t ref = brute(pts, xl, xr, yb, yt);
+    EXPECT_EQ(t.query(xl, xr, yb, yt).size(), ref);
+    EXPECT_EQ(t.query_count(xl, xr, yb, yt), ref);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, StaticRT,
+    ::testing::Combine(::testing::Values(0, 1, 2, 9, 500, 8000),
+                       ::testing::Bool()));
+
+TEST(StaticRT, InnerEntriesAreNLogN) {
+  size_t n = 1 << 13;
+  auto pts = make_points(n, 83);
+  StaticRangeTree::Stats st;
+  StaticRangeTree::build(pts, &st);
+  // Each point appears once per level of its search path: ~ n * log2(n).
+  EXPECT_GT(st.inner_entries, n * 10);
+  EXPECT_LT(st.inner_entries, n * 16);
+}
+
+class AlphaRT : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AlphaRT, BulkBuildQueriesMatchBrute) {
+  uint64_t alpha = GetParam();
+  auto pts = make_points(4000, 85 + alpha);
+  auto t = AlphaRangeTree::build(pts, alpha);
+  EXPECT_TRUE(t.validate());
+  primitives::Rng rng(alpha);
+  for (int q = 0; q < 25; ++q) {
+    double xl = rng.next_double() * 0.8, xr = xl + rng.next_double() * 0.3;
+    double yb = rng.next_double() * 0.8, yt = yb + rng.next_double() * 0.3;
+    size_t ref = brute(pts, xl, xr, yb, yt);
+    EXPECT_EQ(t.query(xl, xr, yb, yt).size(), ref);
+    EXPECT_EQ(t.query_count(xl, xr, yb, yt), ref);
+  }
+}
+
+TEST_P(AlphaRT, MixedWorkloadMatchesBrute) {
+  uint64_t alpha = GetParam();
+  AlphaRangeTree t(alpha);
+  primitives::Rng rng(87 + alpha);
+  std::vector<PPoint> alive;
+  uint32_t next_id = 0;
+  for (size_t op = 0; op < 5000; ++op) {
+    uint64_t r = rng.next_bounded(10);
+    if (r < 6 || alive.empty()) {
+      PPoint p{rng.next_double(), rng.next_double(), next_id++};
+      t.insert(p);
+      alive.push_back(p);
+    } else if (r < 8) {
+      size_t i = rng.next_bounded(alive.size());
+      ASSERT_TRUE(t.erase(alive[i]));
+      alive.erase(alive.begin() + long(i));
+    } else {
+      double xl = rng.next_double() * 0.8, xr = xl + rng.next_double() * 0.3;
+      double yb = rng.next_double() * 0.8, yt = yb + rng.next_double() * 0.3;
+      ASSERT_EQ(t.query(xl, xr, yb, yt).size(), brute(alive, xl, xr, yb, yt))
+          << "op " << op;
+    }
+  }
+  EXPECT_TRUE(t.validate());
+  EXPECT_EQ(t.size(), alive.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaRT, ::testing::Values(2, 4, 8, 32));
+
+TEST(AlphaRT, AugmentationShrinksWithAlpha) {
+  // Inner entries total n log_alpha n: must decrease as alpha grows.
+  auto pts = make_points(20000, 89);
+  size_t prev = SIZE_MAX;
+  for (uint64_t alpha : {2ull, 4ull, 16ull}) {
+    auto t = AlphaRangeTree::build(pts, alpha);
+    size_t entries = t.inner_entries();
+    EXPECT_LT(entries, prev) << "alpha=" << alpha;
+    prev = entries;
+  }
+}
+
+TEST(AlphaRT, ConstructionWritesBelowClassic) {
+  // Table 1: O((alpha + omega) n log_alpha n) vs O(omega n log n) writes.
+  size_t n = 1 << 15;
+  auto pts = make_points(n, 91);
+  StaticRangeTree::Stats sc;
+  StaticRangeTree::build(pts, &sc);
+  asym::Counts ca;
+  AlphaRangeTree::build(pts, 8, &ca);
+  EXPECT_LT(ca.writes, sc.cost.writes);
+}
+
+TEST(AlphaRT, LargerAlphaFewerUpdateWrites) {
+  size_t n = 20000;
+  uint64_t w2 = 0, w16 = 0;
+  for (uint64_t alpha : {2ull, 16ull}) {
+    auto pts = make_points(n, 93);
+    auto t = AlphaRangeTree::build(pts, alpha);
+    primitives::Rng rng(95);
+    asym::Region r;
+    for (uint32_t i = 0; i < 2000; ++i) {
+      t.insert(PPoint{rng.next_double(), rng.next_double(), uint32_t(n) + i});
+    }
+    (alpha == 2 ? w2 : w16) = r.delta().writes;
+  }
+  EXPECT_LT(w16, w2);
+}
+
+TEST(AlphaRT, QueryAtEdgesAndEmptyRanges) {
+  auto pts = make_points(1000, 97);
+  auto t = AlphaRangeTree::build(pts, 4);
+  EXPECT_EQ(t.query(2.0, 3.0, 0.0, 1.0).size(), 0u);   // empty x range
+  EXPECT_EQ(t.query(0.0, 1.0, 2.0, 3.0).size(), 0u);   // empty y range
+  EXPECT_EQ(t.query(-1.0, 2.0, -1.0, 2.0).size(), pts.size());  // everything
+  // Inverted range: no results.
+  EXPECT_EQ(t.query(0.9, 0.1, 0.0, 1.0).size(), 0u);
+}
+
+TEST(AlphaRT, EraseThenReinsertSameId) {
+  AlphaRangeTree t(4);
+  PPoint p{0.5, 0.5, 7};
+  t.insert(p);
+  ASSERT_TRUE(t.erase(p));
+  t.insert(p);
+  EXPECT_EQ(t.query(0.4, 0.6, 0.4, 0.6).size(), 1u);
+  EXPECT_TRUE(t.validate());
+}
+
+TEST(StaticRT, DuplicateCoordinates) {
+  auto pts = make_points(2000, 99, /*grid=*/true);  // heavy duplication
+  auto t = StaticRangeTree::build(pts);
+  primitives::Rng rng(101);
+  for (int q = 0; q < 20; ++q) {
+    double xl = rng.next_double() * 0.8, xr = xl + 0.2;
+    double yb = rng.next_double() * 0.8, yt = yb + 0.2;
+    EXPECT_EQ(t.query_count(xl, xr, yb, yt), brute(pts, xl, xr, yb, yt));
+  }
+}
+
+}  // namespace
+}  // namespace weg::augtree

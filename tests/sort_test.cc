@@ -1,0 +1,150 @@
+// Incremental comparison sort tests (Section 4): correctness of the classic
+// parallel BST sort and the write-efficient prefix-doubling variant across
+// sizes / duplicate densities, the Theorem 4.1 write bound (linear writes vs
+// Θ(n log n) for the classic variant), and the order-returning API.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/primitives/random.h"
+#include "src/sort/incremental_sort.h"
+
+namespace weg::sort {
+namespace {
+
+std::vector<uint64_t> random_keys(size_t n, uint64_t seed, uint64_t range) {
+  primitives::Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = range ? rng.next() % range : rng.next();
+  return v;
+}
+
+class SortSizes
+    : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
+
+TEST_P(SortSizes, ClassicSorts) {
+  auto [n, range] = GetParam();
+  auto keys = random_keys(n, 1 + n, range);
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  SortStats st;
+  EXPECT_EQ(incremental_sort_classic(keys, &st), ref);
+}
+
+TEST_P(SortSizes, WriteEfficientSorts) {
+  auto [n, range] = GetParam();
+  auto keys = random_keys(n, 2 + n, range);
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  SortStats st;
+  EXPECT_EQ(incremental_sort_we(keys, &st), ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SortSizes,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 10, 100, 1000, 50000),
+                       ::testing::Values(0ull, 7ull, 1000ull)));
+
+TEST(IncrementalSort, OrderVariantIsASortingPermutation) {
+  auto keys = random_keys(20000, 3, 500);
+  auto order = incremental_sort_we_order(keys);
+  ASSERT_EQ(order.size(), keys.size());
+  std::vector<uint8_t> seen(keys.size(), 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    ASSERT_EQ(seen[order[i]], 0);
+    seen[order[i]] = 1;
+    if (i > 0) ASSERT_LE(keys[order[i - 1]], keys[order[i]]);
+  }
+}
+
+TEST(IncrementalSort, OrderBreaksTiesByIndex) {
+  std::vector<uint64_t> keys{5, 5, 5, 5, 5};
+  auto order = incremental_sort_we_order(keys);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(IncrementalSort, Theorem41LinearWrites) {
+  // Writes of the WE sort grow ~linearly while the classic variant grows
+  // ~n log n: the ratio classic/WE must increase with n.
+  double prev_ratio = 0;
+  for (size_t n : {1ul << 14, 1ul << 17}) {
+    auto keys = random_keys(n, 4, 0);
+    SortStats c, w;
+    incremental_sort_classic(keys, &c);
+    incremental_sort_we(keys, &w);
+    EXPECT_LT(w.cost.writes, c.cost.writes);
+    double ratio = double(c.cost.writes) / double(w.cost.writes);
+    EXPECT_GT(ratio, prev_ratio);
+    prev_ratio = ratio;
+    // WE writes bounded by a fixed constant per key.
+    EXPECT_LT(w.cost.writes, 10 * n);
+  }
+}
+
+TEST(IncrementalSort, PostponedFractionIsSmall) {
+  auto keys = random_keys(1 << 16, 5, 0);
+  SortStats st;
+  incremental_sort_we(keys, &st);
+  EXPECT_LT(st.postponed, keys.size() / 20);
+}
+
+TEST(IncrementalSort, TreeHeightIsLogarithmic) {
+  size_t n = 1 << 16;
+  auto keys = random_keys(n, 6, 0);
+  SortStats c, w;
+  incremental_sort_classic(keys, &c);
+  incremental_sort_we(keys, &w);
+  // Random BSTs have height < 4 log2 n whp.
+  EXPECT_LT(c.tree_height, 4 * 16u);
+  EXPECT_LT(w.tree_height, 5 * 16u);  // cutoff chains add a little
+}
+
+TEST(IncrementalSort, RoundsPolylog) {
+  auto keys = random_keys(1 << 16, 7, 0);
+  SortStats c;
+  incremental_sort_classic(keys, &c);
+  // Classic rounds == tree height (one level per round).
+  EXPECT_EQ(c.rounds, c.tree_height);
+}
+
+TEST(IncrementalSort, SmallCutoffStillSorts) {
+  auto keys = random_keys(20000, 8, 0);
+  auto ref = keys;
+  std::sort(ref.begin(), ref.end());
+  SortStats st;
+  EXPECT_EQ(incremental_sort_we(keys, &st, /*cutoff=*/2), ref);
+  EXPECT_GT(st.postponed, 0u);  // tiny cutoff forces postponements
+}
+
+TEST(IncrementalSort, AlreadySortedInput) {
+  // Sorted order is adversarial for BST shape but the WE variant's random-
+  // order assumption concerns cost, not correctness.
+  std::vector<uint64_t> keys(3000);
+  for (size_t i = 0; i < keys.size(); ++i) keys[i] = i;
+  auto ref = keys;
+  EXPECT_EQ(incremental_sort_we(keys), ref);
+  EXPECT_EQ(incremental_sort_classic(keys), ref);
+}
+
+TEST(DoubleToSortable, MonotoneOverDoubles) {
+  primitives::Rng rng(9);
+  std::vector<double> ds;
+  for (int i = 0; i < 10000; ++i) {
+    ds.push_back((rng.next_double() - 0.5) * 1e9);
+  }
+  ds.push_back(0.0);
+  ds.push_back(-0.0);
+  ds.push_back(1e-300);
+  ds.push_back(-1e-300);
+  std::sort(ds.begin(), ds.end());
+  for (size_t i = 1; i < ds.size(); ++i) {
+    if (ds[i - 1] < ds[i]) {
+      EXPECT_LT(double_to_sortable(ds[i - 1]), double_to_sortable(ds[i]));
+    } else {
+      EXPECT_LE(double_to_sortable(ds[i - 1]), double_to_sortable(ds[i]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace weg::sort
