@@ -46,7 +46,9 @@ TEST(Orient2D, SosAgreesWithExactWhenNondegenerate) {
     GridPoint b = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 1);
     GridPoint c = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 2);
     int ex = orient2d_exact(a, b, c);
-    if (ex != 0) EXPECT_EQ(orient2d_sos(a, b, c), ex);
+    if (ex != 0) {
+      EXPECT_EQ(orient2d_sos(a, b, c), ex);
+    }
   }
 }
 

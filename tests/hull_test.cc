@@ -5,19 +5,12 @@
 
 #include "src/hull/hull.h"
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 
 namespace weg::hull {
 namespace {
 
-std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
-  primitives::Rng rng(seed);
-  std::vector<geom::Point2> pts(n);
-  for (auto& p : pts) {
-    p[0] = rng.next_double();
-    p[1] = rng.next_double();
-  }
-  return pts;
-}
+using weg::testing::random_points;
 
 double cross(const geom::Point2& o, const geom::Point2& a,
              const geom::Point2& b) {

@@ -14,19 +14,12 @@
 #include "src/kdtree/pbatched.h"
 #include "src/primitives/random.h"
 #include "src/sort/incremental_sort.h"
+#include "tests/testing_util.h"
 
 namespace weg {
 namespace {
 
-std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
-  primitives::Rng rng(seed);
-  std::vector<geom::Point2> pts(n);
-  for (auto& p : pts) {
-    p[0] = rng.next_double();
-    p[1] = rng.next_double();
-  }
-  return pts;
-}
+using weg::testing::random_points;
 
 TEST(Integration, KdTreeAndRangeTreeAgreeOnRangeQueries) {
   size_t n = 20000;

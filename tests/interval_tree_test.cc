@@ -19,7 +19,7 @@ std::vector<Interval> make_intervals(Pattern pat, size_t n, uint64_t seed) {
   primitives::Rng rng(seed);
   std::vector<Interval> ivs(n);
   for (size_t i = 0; i < n; ++i) {
-    double a, b;
+    double a = 0, b = 0;
     switch (pat) {
       case Pattern::kShort:
         a = rng.next_double();
@@ -206,7 +206,7 @@ TEST(DynamicIT, LargerAlphaFewerUpdateWrites) {
     asym::Region r;
     for (uint32_t i = 0; i < 2000; ++i) {
       double a = rng.next_double();
-      t.insert(Interval{a, a + 0.01, n + i});
+      t.insert(Interval{a, a + 0.01, static_cast<uint32_t>(n + i)});
     }
     (alpha == 2 ? w2 : w16) = r.delta().writes;
   }

@@ -8,19 +8,12 @@
 
 #include "src/kdtree/dynamic.h"
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 
 namespace weg::kdtree {
 namespace {
 
-std::vector<geom::Point2> random_points(size_t n, uint64_t seed) {
-  primitives::Rng rng(seed);
-  std::vector<geom::Point2> pts(n);
-  for (auto& p : pts) {
-    p[0] = rng.next_double();
-    p[1] = rng.next_double();
-  }
-  return pts;
-}
+using weg::testing::random_points;
 
 geom::Box2 box(double xlo, double ylo, double xhi, double yhi) {
   geom::Box2 b;

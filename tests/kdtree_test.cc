@@ -9,19 +9,12 @@
 #include "src/kdtree/kdtree.h"
 #include "src/kdtree/pbatched.h"
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 
 namespace weg::kdtree {
 namespace {
 
-template <int K>
-std::vector<geom::PointK<K>> random_points(size_t n, uint64_t seed) {
-  primitives::Rng rng(seed);
-  std::vector<geom::PointK<K>> pts(n);
-  for (auto& p : pts) {
-    for (int d = 0; d < K; ++d) p[d] = rng.next_double();
-  }
-  return pts;
-}
+using weg::testing::random_points;
 
 template <int K>
 geom::BoxK<K> random_box(primitives::Rng& rng, double extent) {

@@ -8,6 +8,7 @@
 #include <numeric>
 
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 #include "src/primitives/semisort.h"
 #include "src/primitives/sequence.h"
 #include "src/primitives/sort.h"
@@ -15,12 +16,7 @@
 namespace weg::primitives {
 namespace {
 
-std::vector<uint64_t> random_vec(size_t n, uint64_t seed, uint64_t range) {
-  Rng rng(seed);
-  std::vector<uint64_t> v(n);
-  for (auto& x : v) x = range ? rng.next() % range : rng.next();
-  return v;
-}
+using weg::testing::random_vec;
 
 class SeqSizes : public ::testing::TestWithParam<size_t> {};
 
@@ -133,8 +129,9 @@ TEST(CountingSort, StableAndGrouped) {
   for (size_t k = 0; k < 64; ++k) {
     for (size_t i = offsets[k]; i < offsets[k + 1]; ++i) {
       ASSERT_EQ(recs[i].first, k);
-      if (i > offsets[k]) ASSERT_LT(recs[i - 1].second, recs[i].second)
-          << "stability violated";
+      if (i > offsets[k]) {
+        ASSERT_LT(recs[i - 1].second, recs[i].second) << "stability violated";
+      }
     }
   }
 }

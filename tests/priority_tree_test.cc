@@ -6,22 +6,13 @@
 
 #include "src/augtree/priority_tree.h"
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 
 namespace weg::augtree {
 namespace {
 
 std::vector<PPoint> make_points(size_t n, uint64_t seed, bool grid = false) {
-  primitives::Rng rng(seed);
-  std::vector<PPoint> pts(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (grid) {
-      pts[i] = PPoint{double(rng.next_bounded(30)) / 30.0,
-                      double(rng.next_bounded(30)) / 30.0, uint32_t(i)};
-    } else {
-      pts[i] = PPoint{rng.next_double(), rng.next_double(), uint32_t(i)};
-    }
-  }
-  return pts;
+  return weg::testing::random_ppoints(n, seed, grid ? 30 : 0);
 }
 
 size_t brute_3sided(const std::vector<PPoint>& pts, double xl, double xr,

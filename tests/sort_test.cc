@@ -7,24 +7,20 @@
 #include <algorithm>
 
 #include "src/primitives/random.h"
+#include "tests/testing_util.h"
 #include "src/sort/incremental_sort.h"
 
 namespace weg::sort {
 namespace {
 
-std::vector<uint64_t> random_keys(size_t n, uint64_t seed, uint64_t range) {
-  primitives::Rng rng(seed);
-  std::vector<uint64_t> v(n);
-  for (auto& x : v) x = range ? rng.next() % range : rng.next();
-  return v;
-}
+using weg::testing::random_vec;
 
 class SortSizes
     : public ::testing::TestWithParam<std::tuple<size_t, uint64_t>> {};
 
 TEST_P(SortSizes, ClassicSorts) {
   auto [n, range] = GetParam();
-  auto keys = random_keys(n, 1 + n, range);
+  auto keys = random_vec(n, 1 + n, range);
   auto ref = keys;
   std::sort(ref.begin(), ref.end());
   SortStats st;
@@ -33,7 +29,7 @@ TEST_P(SortSizes, ClassicSorts) {
 
 TEST_P(SortSizes, WriteEfficientSorts) {
   auto [n, range] = GetParam();
-  auto keys = random_keys(n, 2 + n, range);
+  auto keys = random_vec(n, 2 + n, range);
   auto ref = keys;
   std::sort(ref.begin(), ref.end());
   SortStats st;
@@ -46,14 +42,16 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(0ull, 7ull, 1000ull)));
 
 TEST(IncrementalSort, OrderVariantIsASortingPermutation) {
-  auto keys = random_keys(20000, 3, 500);
+  auto keys = random_vec(20000, 3, 500);
   auto order = incremental_sort_we_order(keys);
   ASSERT_EQ(order.size(), keys.size());
   std::vector<uint8_t> seen(keys.size(), 0);
   for (size_t i = 0; i < order.size(); ++i) {
     ASSERT_EQ(seen[order[i]], 0);
     seen[order[i]] = 1;
-    if (i > 0) ASSERT_LE(keys[order[i - 1]], keys[order[i]]);
+    if (i > 0) {
+      ASSERT_LE(keys[order[i - 1]], keys[order[i]]);
+    }
   }
 }
 
@@ -68,7 +66,7 @@ TEST(IncrementalSort, Theorem41LinearWrites) {
   // ~n log n: the ratio classic/WE must increase with n.
   double prev_ratio = 0;
   for (size_t n : {1ul << 14, 1ul << 17}) {
-    auto keys = random_keys(n, 4, 0);
+    auto keys = random_vec(n, 4, 0);
     SortStats c, w;
     incremental_sort_classic(keys, &c);
     incremental_sort_we(keys, &w);
@@ -82,7 +80,7 @@ TEST(IncrementalSort, Theorem41LinearWrites) {
 }
 
 TEST(IncrementalSort, PostponedFractionIsSmall) {
-  auto keys = random_keys(1 << 16, 5, 0);
+  auto keys = random_vec(1 << 16, 5, 0);
   SortStats st;
   incremental_sort_we(keys, &st);
   EXPECT_LT(st.postponed, keys.size() / 20);
@@ -90,7 +88,7 @@ TEST(IncrementalSort, PostponedFractionIsSmall) {
 
 TEST(IncrementalSort, TreeHeightIsLogarithmic) {
   size_t n = 1 << 16;
-  auto keys = random_keys(n, 6, 0);
+  auto keys = random_vec(n, 6, 0);
   SortStats c, w;
   incremental_sort_classic(keys, &c);
   incremental_sort_we(keys, &w);
@@ -100,7 +98,7 @@ TEST(IncrementalSort, TreeHeightIsLogarithmic) {
 }
 
 TEST(IncrementalSort, RoundsPolylog) {
-  auto keys = random_keys(1 << 16, 7, 0);
+  auto keys = random_vec(1 << 16, 7, 0);
   SortStats c;
   incremental_sort_classic(keys, &c);
   // Classic rounds == tree height (one level per round).
@@ -108,7 +106,7 @@ TEST(IncrementalSort, RoundsPolylog) {
 }
 
 TEST(IncrementalSort, SmallCutoffStillSorts) {
-  auto keys = random_keys(20000, 8, 0);
+  auto keys = random_vec(20000, 8, 0);
   auto ref = keys;
   std::sort(ref.begin(), ref.end());
   SortStats st;

@@ -1,0 +1,56 @@
+// Shared deterministic input generators for the test suites. Every helper
+// takes an explicit seed — tests must never seed from the wall clock, so the
+// same binary always sees the same inputs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/augtree/priority_tree.h"
+#include "src/geom/point.h"
+#include "src/primitives/random.h"
+
+namespace weg::testing {
+
+// Uniform uint64 keys; range == 0 draws from the full 64-bit width.
+inline std::vector<uint64_t> random_vec(size_t n, uint64_t seed,
+                                        uint64_t range = 0) {
+  primitives::Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = range ? rng.next() % range : rng.next();
+  return v;
+}
+
+// Uniform points in [0,1)^K.
+template <int K = 2>
+std::vector<geom::PointK<K>> random_points(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::PointK<K>> pts(n);
+  for (auto& p : pts) {
+    for (int d = 0; d < K; ++d) p[d] = rng.next_double();
+  }
+  return pts;
+}
+
+// Priority-search/range-tree points with ids 0..n-1. grid_cells > 0 snaps
+// both coordinates to a grid_cells x grid_cells lattice (many duplicate
+// coordinates, the degenerate case the augmented trees must survive).
+inline std::vector<augtree::PPoint> random_ppoints(size_t n, uint64_t seed,
+                                                   uint32_t grid_cells = 0) {
+  primitives::Rng rng(seed);
+  std::vector<augtree::PPoint> pts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (grid_cells > 0) {
+      pts[i] = augtree::PPoint{double(rng.next_bounded(grid_cells)) / grid_cells,
+                               double(rng.next_bounded(grid_cells)) / grid_cells,
+                               uint32_t(i)};
+    } else {
+      pts[i] =
+          augtree::PPoint{rng.next_double(), rng.next_double(), uint32_t(i)};
+    }
+  }
+  return pts;
+}
+
+}  // namespace weg::testing
