@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Records the repo's perf trajectory: runs the augmented-tree construction
+# and sort benchmarks with --benchmark_out JSON and writes BENCH_augtree.json
+# / BENCH_sort.json at the repo root (committed so every PR's numbers are
+# comparable). A serial baseline (WEG_NUM_THREADS=1) lands next to them as
+# BENCH_augtree_serial.json so speedup = serial real_time / parallel
+# real_time can be computed per benchmark row without rebuilding anything.
+# All three files are written to temporaries and moved into place together,
+# so an interrupted run never leaves a mixed-version trajectory.
+#
+# Usage:  bench/run_benches.sh [build-dir]     (default: build/release)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BUILD=${1:-build/release}
+
+if [[ ! -x "$BUILD/bench/bench_augtree_construction" ]]; then
+  echo "bench binaries not found under $BUILD/bench — build them first:" >&2
+  echo "  cmake --preset release && cmake --build --preset release -j" >&2
+  exit 1
+fi
+
+tmp=$(mktemp -d "$BUILD/bench_json.XXXXXX")
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== augtree construction (default threads: ${WEG_NUM_THREADS:-auto}) =="
+"$BUILD/bench/bench_augtree_construction" \
+  --benchmark_out="$tmp/BENCH_augtree.json" --benchmark_out_format=json
+
+echo "== sort =="
+"$BUILD/bench/bench_sort" \
+  --benchmark_out="$tmp/BENCH_sort.json" --benchmark_out_format=json
+
+if [[ "${WEG_NUM_THREADS:-}" == "1" ]]; then
+  # The main run above was already serial; reuse it so the baseline can
+  # never go stale relative to BENCH_augtree.json.
+  cp "$tmp/BENCH_augtree.json" "$tmp/BENCH_augtree_serial.json"
+else
+  echo "== augtree construction (serial baseline, WEG_NUM_THREADS=1) =="
+  WEG_NUM_THREADS=1 "$BUILD/bench/bench_augtree_construction" \
+    --benchmark_out="$tmp/BENCH_augtree_serial.json" --benchmark_out_format=json
+fi
+
+mv "$tmp/BENCH_augtree.json" "$tmp/BENCH_sort.json" \
+   "$tmp/BENCH_augtree_serial.json" .
+echo "wrote BENCH_augtree.json, BENCH_sort.json, BENCH_augtree_serial.json"

@@ -8,32 +8,39 @@ namespace detail {
 
 namespace {
 
-std::mutex registry_mu;
+// Both statics are deliberately immortal (never destroyed): threads may
+// still register and count during static destruction, and keeping the
+// vector alive keeps the leaked per-thread counters reachable so
+// LeakSanitizer stays quiet about them.
+std::mutex& registry_mu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 std::vector<ThreadCounter*>& registry() {
-  static std::vector<ThreadCounter*> r;
-  return r;
+  static std::vector<ThreadCounter*>* r = new std::vector<ThreadCounter*>();
+  return *r;
 }
 
 }  // namespace
 
-ThreadCounter& local_counter() {
+ThreadCounter* register_counter() {
   // Registered thread-locals outlive any measurement because threads are
   // owned by the process-lifetime scheduler singleton. Counter storage leaks
   // intentionally at thread exit to keep aggregation race-free.
-  thread_local ThreadCounter* tc = [] {
-    auto* c = new ThreadCounter();
-    std::lock_guard<std::mutex> lk(registry_mu);
+  auto* c = new ThreadCounter();
+  {
+    std::lock_guard<std::mutex> lk(registry_mu());
     registry().push_back(c);
-    return c;
-  }();
-  return *tc;
+  }
+  tl_counter = c;
+  return c;
 }
 
 }  // namespace detail
 
 Counts total() {
   Counts t;
-  std::lock_guard<std::mutex> lk(detail::registry_mu);
+  std::lock_guard<std::mutex> lk(detail::registry_mu());
   for (auto* c : detail::registry()) {
     t.reads += c->reads;
     t.writes += c->writes;
@@ -42,7 +49,7 @@ Counts total() {
 }
 
 void reset() {
-  std::lock_guard<std::mutex> lk(detail::registry_mu);
+  std::lock_guard<std::mutex> lk(detail::registry_mu());
   for (auto* c : detail::registry()) {
     c->reads = 0;
     c->writes = 0;

@@ -45,8 +45,20 @@ struct alignas(64) ThreadCounter {
   uint64_t writes = 0;
 };
 
-// Counter slot for the calling thread (registered on first use).
-ThreadCounter& local_counter();
+// Allocates and registers the calling thread's counter slot, caching it in
+// tl_counter; called at most once per thread.
+ThreadCounter* register_counter();
+
+// Cached pointer to this thread's slot. Keeping the cache as a plain
+// thread_local pointer in the header means the per-access hot path below is
+// a single TLS load + increment; the registration path (lock, allocation)
+// is only ever taken on a thread's first counted access.
+inline thread_local ThreadCounter* tl_counter = nullptr;
+
+inline ThreadCounter& local_counter() {
+  ThreadCounter* c = tl_counter;
+  return c != nullptr ? *c : *register_counter();
+}
 
 }  // namespace detail
 

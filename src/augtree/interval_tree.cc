@@ -6,6 +6,8 @@
 #include <limits>
 #include <unordered_map>
 
+#include "src/augtree/par_build.h"
+#include "src/parallel/parallel_for.h"
 #include "src/primitives/semisort.h"
 #include "src/primitives/sort.h"
 #include "src/sort/incremental_sort.h"
@@ -57,22 +59,23 @@ StaticIntervalTree StaticIntervalTree::build_postsorted(
   // The monotone double->uint64 mapping happens in registers while reading
   // the input, so it costs reads only.
   std::vector<uint64_t> keys(ne);
-  for (size_t i = 0; i < t.n_; ++i) {
+  parallel::parallel_for(0, t.n_, [&](size_t i) {
     keys[2 * i] = sort::double_to_sortable(ivs[i].l);
     keys[2 * i + 1] = sort::double_to_sortable(ivs[i].r);
-  }
+  });
   asym::count_read(ne);
   auto order = sort::incremental_sort_we_order(keys);
 
-  // 2) Ranks and sorted key array (O(n) reads/writes).
+  // 2) Ranks and sorted key array (O(n) reads/writes). `order` is a
+  // permutation, so every iteration writes distinct slots.
   std::vector<uint32_t> rank(ne);
   t.keys_.assign(t.m_, kInf);
   asym::count_read(ne);
   asym::count_write(2 * ne);
-  for (size_t i = 0; i < ne; ++i) {
+  parallel::parallel_for(0, ne, [&](size_t i) {
     rank[order[i]] = static_cast<uint32_t>(i);
     t.keys_[i] = (order[i] & 1) ? ivs[order[i] / 2].r : ivs[order[i] / 2].l;
-  }
+  });
 
   // 3) Assign each interval to its node with the O(1) implicit-tree LCA and
   //    sort by (level, endpoint rank) per Section 7.2. Intervals in
@@ -120,8 +123,10 @@ StaticIntervalTree StaticIntervalTree::build_postsorted(
     for (const Rec& r : rs) out[cursor[r.pos - 1]++] = {r.coord, r.id};
   };
 
-  build_csr(true, t.node_left_off_, t.by_left_);
-  build_csr(false, t.node_right_off_, t.by_right_);
+  // The two CSRs are independent (disjoint outputs, shared read-only
+  // inputs), so build them as one fork-join pair.
+  parallel::par_do([&] { build_csr(true, t.node_left_off_, t.by_left_); },
+                   [&] { build_csr(false, t.node_right_off_, t.by_right_); });
 
   if (stats) {
     stats->cost = region.delta();
@@ -150,7 +155,9 @@ StaticIntervalTree StaticIntervalTree::build_classic(
   std::copy(endpoints.begin(), endpoints.end(), t.keys_.begin());
 
   // Recursive partition, copying the interval set at every level (this is
-  // the Θ(n log n)-write baseline).
+  // the Θ(n log n)-write baseline). The two child partitions touch disjoint
+  // per_node slots, so they fork as independent subtree builds down to a
+  // sequential cutoff.
   std::vector<std::vector<std::pair<double, uint32_t>>> per_node_l(t.m_ + 1);
   std::vector<std::vector<std::pair<double, uint32_t>>> per_node_r(t.m_ + 1);
   std::vector<uint32_t> all(t.n_);
@@ -185,8 +192,9 @@ StaticIntervalTree StaticIntervalTree::build_classic(
     int lvl = level_of(pos);
     if (lvl > 0) {
       size_t step = size_t{1} << (lvl - 1);
-      self(self, pos - step, std::move(left));
-      self(self, pos + step, std::move(right));
+      parallel::par_do_if(left.size() + right.size() > parallel::kSeqCutoff,
+                          [&] { self(self, pos - step, std::move(left)); },
+                          [&] { self(self, pos + step, std::move(right)); });
     }
   };
   rec(rec, t.root_pos(), std::move(all));
@@ -437,16 +445,14 @@ void DynamicIntervalTree::collect(uint32_t v,
 uint32_t DynamicIntervalTree::build_balanced(
     std::vector<std::pair<double, bool>>& keys, size_t lo, size_t hi) {
   if (lo >= hi) return kNull;
-  size_t mid = lo + (hi - lo) / 2;
-  uint32_t v = alloc();
-  asym::count_write();
-  pool_[v].key = keys[mid].first;
-  pool_[v].dead = keys[mid].second;
-  uint32_t l = build_balanced(keys, lo, mid);
-  uint32_t r = build_balanced(keys, mid + 1, hi);
-  pool_[v].left = l;
-  pool_[v].right = r;
-  return v;
+  // One path for every worker count: balanced_build_ids forks above the
+  // sequential cutoff and runs inline below it.
+  auto ids = claim_build_slots(pool_, free_, hi - lo);
+  return balanced_build_ids(pool_, keys, lo, hi, ids.data(),
+                            [](Node& nd, const std::pair<double, bool>& e) {
+                              nd.key = e.first;
+                              nd.dead = e.second;
+                            });
 }
 
 void DynamicIntervalTree::set_critical(uint32_t v, uint64_t w,
@@ -460,18 +466,21 @@ void DynamicIntervalTree::set_critical(uint32_t v, uint64_t w,
   }
 }
 
-uint64_t DynamicIntervalTree::mark_rec(uint32_t v) {
+uint64_t DynamicIntervalTree::mark_rec(uint32_t v, int par_depth) {
   if (v == kNull) return 1;
   asym::count_read();
-  uint64_t wl = mark_rec(pool_[v].left);
-  uint64_t wr = mark_rec(pool_[v].right);
-  if (pool_[v].left != kNull) set_critical(pool_[v].left, wl, wr);
-  if (pool_[v].right != kNull) set_critical(pool_[v].right, wr, wl);
+  uint32_t left = pool_[v].left, right = pool_[v].right;
+  uint64_t wl = 1, wr = 1;
+  parallel::par_do_if(par_depth > 0 && left != kNull && right != kNull,
+                      [&] { wl = mark_rec(left, par_depth - 1); },
+                      [&] { wr = mark_rec(right, par_depth - 1); });
+  if (left != kNull) set_critical(left, wl, wr);
+  if (right != kNull) set_critical(right, wr, wl);
   return wl + wr;
 }
 
 void DynamicIntervalTree::mark_criticals(uint32_t v) {
-  uint64_t w = mark_rec(v);
+  uint64_t w = mark_rec(v, parallel::fork_depth_hint());
   // Subtree root: sibling weight unknown here; rule (2) does not apply.
   set_critical(v, w, 0);
 }

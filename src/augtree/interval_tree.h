@@ -128,12 +128,15 @@ class DynamicIntervalTree {
   // Rebuilds the subtree at v; parent == kNull rebuilds the whole tree
   // (dropping dead keys); side selects the parent's child slot.
   void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
+  // Builds via the shared id-slice path (par_build.h): forks above the
+  // sequential cutoff, inline below it.
   uint32_t build_balanced(std::vector<std::pair<double, bool>>& keys,
                           size_t lo, size_t hi);
   // Post-order weight computation marking v's descendants critical per the
-  // α rule; returns the subtree weight. set_critical applies the rule to one
-  // node given its and its sibling's weight.
-  uint64_t mark_rec(uint32_t v);
+  // α rule; returns the subtree weight. Forks on two-child nodes while
+  // par_depth > 0 (children touch disjoint nodes). set_critical applies the
+  // rule to one node given its and its sibling's weight.
+  uint64_t mark_rec(uint32_t v, int par_depth);
   void set_critical(uint32_t v, uint64_t w, uint64_t sibling_w);
   void mark_criticals(uint32_t v);
   void collect(uint32_t v, std::vector<std::pair<double, bool>>& keys,

@@ -1,0 +1,65 @@
+// Shared helpers for the parallel (re)construction paths of the pool-backed
+// dynamic trees. The pattern: claim every node slot up front (drain the free
+// list, then append fresh slots) so the build recursion never touches the
+// shared allocator, then recurse over id slices — sibling subtrees write
+// disjoint pool entries and can fork freely.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/parallel/parallel_for.h"
+
+namespace weg::augtree {
+
+// Claims `n` node slots for a bulk build: free-list slots first (they were
+// reset to Node{} when freed), then freshly appended ones. Reusing the free
+// list keeps repeated large rebuilds from growing the pool without bound.
+template <typename Node>
+std::vector<uint32_t> claim_build_slots(std::vector<Node>& pool,
+                                        std::vector<uint32_t>& free_list,
+                                        size_t n) {
+  std::vector<uint32_t> ids(n);
+  size_t take = std::min(free_list.size(), n);
+  for (size_t k = 0; k < take; ++k) {
+    ids[k] = free_list.back();
+    free_list.pop_back();
+  }
+  size_t base = pool.size();
+  pool.resize(base + (n - take));
+  for (size_t k = take; k < n; ++k) {
+    ids[k] = static_cast<uint32_t>(base + (k - take));
+  }
+  return ids;
+}
+
+// Balanced BST build over entries[lo, hi) into pre-claimed slots: ids[k] is
+// the pool slot of the node with in-order rank k within [lo, hi). `init`
+// fills one node's payload from its entry; links and the per-node write
+// charge are handled here. Forks while ranges exceed the sequential cutoff.
+template <typename Node, typename Entry, typename Init>
+uint32_t balanced_build_ids(std::vector<Node>& pool,
+                            const std::vector<Entry>& entries, size_t lo,
+                            size_t hi, const uint32_t* ids, const Init& init) {
+  if (lo >= hi) return UINT32_MAX;
+  size_t mid = lo + (hi - lo) / 2;
+  uint32_t v = ids[mid - lo];
+  asym::count_write();
+  pool[v] = Node{};
+  init(pool[v], entries[mid]);
+  uint32_t l = UINT32_MAX, r = UINT32_MAX;
+  parallel::par_do_if(
+      hi - lo > parallel::kSeqCutoff,
+      [&] { l = balanced_build_ids(pool, entries, lo, mid, ids, init); },
+      [&] {
+        r = balanced_build_ids(pool, entries, mid + 1, hi,
+                               ids + (mid - lo) + 1, init);
+      });
+  pool[v].left = l;
+  pool[v].right = r;
+  return v;
+}
+
+}  // namespace weg::augtree

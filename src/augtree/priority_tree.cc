@@ -1,10 +1,13 @@
 #include "src/augtree/priority_tree.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <limits>
 
+#include "src/augtree/par_build.h"
 #include "src/augtree/tournament.h"
+#include "src/parallel/parallel_for.h"
 #include "src/primitives/sort.h"
 #include "src/sort/incremental_sort.h"
 
@@ -27,21 +30,26 @@ StaticPriorityTree StaticPriorityTree::build_classic(
   asym::Region region;
   StaticPriorityTree t;
   t.n_ = pts.size();
-  t.pool_.reserve(t.n_);
+  // One node per point; a subtree over a set of size s occupies the
+  // contiguous slot slice [base, base + s) with its root at `base`, so
+  // sibling builds write disjoint slots, the layout is DFS-contiguous, and
+  // ids are identical at every worker count.
+  t.pool_.resize(t.n_);
   std::vector<PPoint> sorted = pts;
   asym::count_read(pts.size());
   primitives::sort_inplace(sorted, px_less);
   // Recursive extract-max + median split, copying each half (the Θ(n log n)
-  // write baseline).
-  auto rec = [&](auto&& self, std::vector<PPoint> set) -> uint32_t {
+  // write baseline). The halves are independent, so they fork down to a
+  // sequential cutoff.
+  auto rec = [&](auto&& self, std::vector<PPoint> set,
+                 uint32_t base) -> uint32_t {
     if (set.empty()) return kNull;
     asym::count_read(set.size());
     size_t best = 0;
     for (size_t i = 1; i < set.size(); ++i) {
       if (set[i].y > set[best].y) best = i;
     }
-    uint32_t id = static_cast<uint32_t>(t.pool_.size());
-    t.pool_.push_back(Node{});
+    uint32_t id = base;
     t.pool_[id].pt = set[best];
     asym::count_write();
     set.erase(set.begin() + static_cast<long>(best));
@@ -55,13 +63,17 @@ StaticPriorityTree StaticPriorityTree::build_classic(
     std::vector<PPoint> left(set.begin(), set.begin() + static_cast<long>(mid) + 1);
     std::vector<PPoint> right(set.begin() + static_cast<long>(mid) + 1, set.end());
     t.pool_[id].split = set[mid].x;
-    uint32_t l = self(self, std::move(left));
-    uint32_t r = self(self, std::move(right));
+    uint32_t lbase = base + 1;
+    uint32_t rbase = lbase + static_cast<uint32_t>(left.size());
+    uint32_t l = kNull, r = kNull;
+    parallel::par_do_if(left.size() + right.size() > parallel::kSeqCutoff,
+                        [&] { l = self(self, std::move(left), lbase); },
+                        [&] { r = self(self, std::move(right), rbase); });
     t.pool_[id].left = l;
     t.pool_[id].right = r;
     return id;
   };
-  t.root_ = rec(rec, std::move(sorted));
+  t.root_ = rec(rec, std::move(sorted), 0);
   if (stats) {
     stats->cost = region.delta();
     stats->height = t.height();
@@ -79,36 +91,46 @@ StaticPriorityTree StaticPriorityTree::build_postsorted(
     if (stats) *stats = Stats{asym::Counts{}, 0, 0};
     return t;
   }
-  t.pool_.reserve(t.n_);
+  // One node per point; a carve over nv valid points occupies the contiguous
+  // slot slice [base, base + nv) with its root at `base`, so sibling carves
+  // write disjoint slots and ids are identical at every worker count.
+  t.pool_.resize(t.n_);
 
   // Write-efficient sort by x (Theorem 4.1 sorter on the mapped doubles).
   std::vector<uint64_t> keys(t.n_);
-  for (size_t i = 0; i < t.n_; ++i) keys[i] = sort::double_to_sortable(pts[i].x);
+  parallel::parallel_for(0, t.n_, [&](size_t i) {
+    keys[i] = sort::double_to_sortable(pts[i].x);
+  });
   asym::count_read(t.n_);  // the monotone mapping happens in registers
   auto order = sort::incremental_sort_we_order(keys);
   std::vector<PPoint> sorted(t.n_);
   asym::count_read(t.n_);
   asym::count_write(t.n_);
-  for (size_t i = 0; i < t.n_; ++i) sorted[i] = pts[order[i]];
+  parallel::parallel_for(0, t.n_, [&](size_t i) { sorted[i] = pts[order[i]]; });
   // Stabilize equal x by id (the WE sorter breaks key ties by input index).
   // (Equal doubles map to equal keys; tie order does not matter here.)
 
   std::vector<double> ys(t.n_);
-  for (size_t i = 0; i < t.n_; ++i) ys[i] = sorted[i].y;
+  parallel::parallel_for(0, t.n_, [&](size_t i) { ys[i] = sorted[i].y; });
   TournamentTree tt(ys);
 
-  size_t base_cases = 0;
+  std::atomic<size_t> base_cases{0};
 
   // Appendix A construction: carve the tree out of the sorted array using
   // range-argmax / k-th-valid / scoped deletions on the tournament tree.
-  auto rec = [&](auto&& self, size_t lo, size_t hi, size_t nv) -> uint32_t {
+  // Sibling carves fork: a scoped deletion in [a, b) only rewrites
+  // tournament nodes whose segment lies inside [a, b), and queries read
+  // summaries only at fully-covered nodes, so recursions over disjoint
+  // ranges touch disjoint tournament state.
+  auto rec = [&](auto&& self, size_t lo, size_t hi, size_t nv,
+                 uint32_t base) -> uint32_t {
     if (nv == 0) return kNull;
     size_t holes = (hi - lo) - nv;
     if (nv == 1 || holes > nv) {
       // Base case: load the valid points into the symmetric memory and
       // finish the subtree there; only the reads of the range and the writes
       // of the produced nodes touch the large memory.
-      ++base_cases;
+      base_cases.fetch_add(1, std::memory_order_relaxed);
       asym::count_read(hi - lo);
       std::vector<PPoint> local;
       local.reserve(nv);
@@ -116,8 +138,10 @@ StaticPriorityTree StaticPriorityTree::build_postsorted(
         if (tt.count_valid(i, i + 1)) local.push_back(sorted[i]);
       }
       for (size_t i = lo; i < hi; ++i) tt.erase_scoped(i, lo, hi);
-      // In-memory classic build; charge one write per created node.
-      auto build = [&](auto&& bself, size_t blo, size_t bhi) -> uint32_t {
+      // In-memory classic build into slots [bbase, bbase + (bhi - blo));
+      // charge one write per created node.
+      auto build = [&](auto&& bself, size_t blo, size_t bhi,
+                       uint32_t bbase) -> uint32_t {
         if (blo >= bhi) return kNull;
         size_t best = blo;
         for (size_t i = blo + 1; i < bhi; ++i) {
@@ -128,8 +152,7 @@ StaticPriorityTree StaticPriorityTree::build_postsorted(
         // Keep the rest sorted by x for the median split.
         std::sort(local.begin() + static_cast<long>(blo) + 1,
                   local.begin() + static_cast<long>(bhi), px_less);
-        uint32_t id = static_cast<uint32_t>(t.pool_.size());
-        t.pool_.push_back(Node{});
+        uint32_t id = bbase;
         asym::count_write();
         t.pool_[id].pt = top;
         size_t rest = bhi - (blo + 1);
@@ -139,18 +162,18 @@ StaticPriorityTree StaticPriorityTree::build_postsorted(
         }
         size_t mid = blo + 1 + (rest - 1) / 2;
         t.pool_[id].split = local[mid].x;
-        uint32_t l = bself(bself, blo + 1, mid + 1);
-        uint32_t r = bself(bself, mid + 1, bhi);
+        uint32_t l = bself(bself, blo + 1, mid + 1, bbase + 1);
+        uint32_t r = bself(bself, mid + 1, bhi,
+                           bbase + 1 + static_cast<uint32_t>(mid - blo));
         t.pool_[id].left = l;
         t.pool_[id].right = r;
         return id;
       };
-      return build(build, 0, local.size());
+      return build(build, 0, local.size(), base);
     }
     uint32_t top_idx = tt.range_argmax(lo, hi);
     assert(top_idx != TournamentTree::kNone);
-    uint32_t id = static_cast<uint32_t>(t.pool_.size());
-    t.pool_.push_back(Node{});
+    uint32_t id = base;
     asym::count_write();
     t.pool_[id].pt = sorted[top_idx];
     tt.erase_scoped(top_idx, lo, hi);
@@ -163,18 +186,23 @@ StaticPriorityTree StaticPriorityTree::build_postsorted(
     uint32_t med = tt.kth_valid(lo, hi, k);
     assert(med != TournamentTree::kNone);
     t.pool_[id].split = sorted[med].x;
-    uint32_t l = self(self, lo, med + 1, k + 1);
-    uint32_t r = self(self, med + 1, hi, rest - (k + 1));
+    uint32_t lbase = base + 1;
+    uint32_t rbase = lbase + static_cast<uint32_t>(k + 1);
+    uint32_t l = kNull, r = kNull;
+    parallel::par_do_if(
+        rest > parallel::kSeqCutoff,
+        [&] { l = self(self, lo, med + 1, k + 1, lbase); },
+        [&] { r = self(self, med + 1, hi, rest - (k + 1), rbase); });
     t.pool_[id].left = l;
     t.pool_[id].right = r;
     return id;
   };
-  t.root_ = rec(rec, 0, t.n_, t.n_);
+  t.root_ = rec(rec, 0, t.n_, t.n_, 0);
 
   if (stats) {
     stats->cost = region.delta();
     stats->height = t.height();
-    stats->smallmem_base_cases = base_cases;
+    stats->smallmem_base_cases = base_cases.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -359,24 +387,50 @@ void DynamicPriorityTree::collect_live(uint32_t v,
 uint32_t DynamicPriorityTree::build_range(std::vector<PPoint>& pts, size_t lo,
                                           size_t hi, uint64_t sibling_points) {
   if (lo >= hi) return kNull;
+  size_t n = hi - lo;
+  // Claim the worst-case node count up front (free-list slots first, so
+  // repeated rebuilds recycle instead of growing the pool) and hand slots
+  // out through an atomic cursor; build_range_ids forks sibling subtree
+  // builds above the sequential cutoff and runs inline below it, so this
+  // single path serves serial and parallel rebuilds alike. Bound: every
+  // call creates one node; a size-1 range or a critical node consumes a
+  // point, a secondary node splits size s >= 2 into two strictly smaller
+  // ranges, so N(s) <= 2s - 1 by induction.
+  std::vector<uint32_t> slots = claim_build_slots(pool_, free_, 2 * n);
+  std::atomic<uint32_t> cursor{0};
+  uint32_t root = build_range_ids(pts, lo, hi, sibling_points, slots, cursor);
+  // Return the unused slack to the free list.
+  for (size_t k = cursor.load(std::memory_order_relaxed); k < slots.size();
+       ++k) {
+    free_.push_back(slots[k]);
+  }
+  return root;
+}
+
+uint32_t DynamicPriorityTree::build_range_ids(std::vector<PPoint>& pts,
+                                              size_t lo, size_t hi,
+                                              uint64_t sibling_points,
+                                              const std::vector<uint32_t>& slots,
+                                              std::atomic<uint32_t>& cursor) {
+  if (lo >= hi) return kNull;
   uint64_t w = (hi - lo) + 1;
-  uint32_t id = alloc();
+  uint32_t id = slots[cursor.fetch_add(1, std::memory_order_relaxed)];
   asym::count_write();
-  Node& nd0 = pool_[id];
-  nd0.critical = is_critical_weight(w, sibling_points + 1, alpha_);
-  nd0.init_weight = w;
-  nd0.weight = w;
+  // Claimed slots all hold Node{} and the pool never resizes during the
+  // build, so holding the reference across child calls is safe.
+  Node& nd = pool_[id];
+  nd.critical = is_critical_weight(w, sibling_points + 1, alpha_);
+  nd.init_weight = w;
+  nd.weight = w;
   size_t begin = lo;
-  if (pool_[id].critical || hi - lo == 1) {
-    // Extract the max-priority point for this node (leaves always hold their
-    // point — they are critical by weight 2).
+  if (nd.critical || hi - lo == 1) {
     size_t best = lo;
     for (size_t i = lo + 1; i < hi; ++i) {
       if (pts[i].y > pts[best].y) best = i;
     }
     asym::count_read(hi - lo);
-    pool_[id].has_point = true;
-    pool_[id].pt = pts[best];
+    nd.has_point = true;
+    nd.pt = pts[best];
     // Remove by swapping toward the front, preserving x order of the rest
     // via rotation.
     std::rotate(pts.begin() + static_cast<long>(lo),
@@ -385,22 +439,27 @@ uint32_t DynamicPriorityTree::build_range(std::vector<PPoint>& pts, size_t lo,
     begin = lo + 1;
   }
   if (begin >= hi) {
-    pool_[id].split = pool_[id].has_point ? pool_[id].pt.x : 0;
-    if (!pool_[id].critical) {
+    nd.split = nd.has_point ? nd.pt.x : 0;
+    if (!nd.critical) {
       // A childless secondary node would be pointless; make it critical so
       // every leaf holds its point.
-      pool_[id].critical = true;
+      nd.critical = true;
     }
     return id;
   }
   size_t rest = hi - begin;
   size_t mid = begin + (rest - 1) / 2;  // left keeps [begin, mid]
-  pool_[id].split = pts[mid].x;
+  nd.split = pts[mid].x;
   uint64_t wl = (mid + 1 - begin) + 1, wr = (hi - (mid + 1)) + 1;
-  uint32_t l = build_range(pts, begin, mid + 1, wr - 1);
-  uint32_t r = build_range(pts, mid + 1, hi, wl - 1);
-  pool_[id].left = l;
-  pool_[id].right = r;
+  uint32_t l = kNull, r = kNull;
+  // Children mutate disjoint pts slices and allocate through the shared
+  // cursor only.
+  parallel::par_do_if(
+      rest > parallel::kSeqCutoff,
+      [&] { l = build_range_ids(pts, begin, mid + 1, wr - 1, slots, cursor); },
+      [&] { r = build_range_ids(pts, mid + 1, hi, wl - 1, slots, cursor); });
+  nd.left = l;
+  nd.right = r;
   return id;
 }
 

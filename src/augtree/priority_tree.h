@@ -24,6 +24,7 @@
 // through the usual weight-doubling rule (weights here count points + 1).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -115,8 +116,16 @@ class DynamicPriorityTree {
   uint32_t alloc();
   void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
   // Post-sorted rebuild core over pts[lo, hi) (sorted by x): returns node.
+  // Large rebuilds pre-grow the pool and fork sibling subtree builds.
   uint32_t build_range(std::vector<PPoint>& pts, size_t lo, size_t hi,
                        uint64_t sibling_points);
+  // Parallel variant over pre-claimed slots handed out by `cursor`, so
+  // sibling builds never touch the shared allocator and mutate disjoint pts
+  // slices / pool entries.
+  uint32_t build_range_ids(std::vector<PPoint>& pts, size_t lo, size_t hi,
+                           uint64_t sibling_points,
+                           const std::vector<uint32_t>& slots,
+                           std::atomic<uint32_t>& cursor);
   void collect_live(uint32_t v, std::vector<PPoint>& out) const;
   void bump_and_rebalance(const std::vector<uint32_t>& path);
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <limits>
 
+#include "src/augtree/par_build.h"
+#include "src/parallel/parallel_for.h"
 #include "src/primitives/sort.h"
 #include "src/sort/incremental_sort.h"
 
@@ -78,6 +80,8 @@ StaticRangeTree StaticRangeTree::build(const std::vector<PPoint>& pts,
   for (size_t r = 0; r < t.n_; ++r) all[r] = {t.by_x_[r].y, (uint32_t)r};
   primitives::sort_inplace(all);
 
+  // Sibling subtrees write disjoint per_node slots, so the stable partition
+  // forks on independent subtree builds down to a sequential cutoff.
   std::vector<std::vector<std::pair<double, uint32_t>>> per_node(t.m_ + 1);
   auto rec = [&](auto&& self, size_t pos,
                  std::vector<std::pair<double, uint32_t>> list) -> void {
@@ -97,21 +101,26 @@ StaticRangeTree StaticRangeTree::build(const std::vector<PPoint>& pts,
         right.push_back(e);
       }
     }
-    self(self, pos - step, std::move(left));
-    self(self, pos + step, std::move(right));
+    parallel::par_do_if(left.size() + right.size() > parallel::kSeqCutoff,
+                        [&] { self(self, pos - step, std::move(left)); },
+                        [&] { self(self, pos + step, std::move(right)); });
   };
   rec(rec, t.root_pos(), std::move(all));
 
-  // Flatten into CSR, converting ranks to ids.
+  // Flatten into CSR, converting ranks to ids: serial prefix sum over the
+  // node sizes, then a parallel scatter into disjoint output ranges.
   t.inner_off_.assign(t.m_ + 1, 0);
   size_t total = 0;
-  for (size_t p = 1; p <= t.m_; ++p) total += per_node[p].size();
-  t.ys_.reserve(total);
   for (size_t p = 1; p <= t.m_; ++p) {
-    t.inner_off_[p - 1] = static_cast<uint32_t>(t.ys_.size());
-    for (auto& [y, r] : per_node[p]) t.ys_.emplace_back(y, t.by_x_[r].id);
+    t.inner_off_[p - 1] = static_cast<uint32_t>(total);
+    total += per_node[p].size();
   }
-  t.inner_off_[t.m_] = static_cast<uint32_t>(t.ys_.size());
+  t.inner_off_[t.m_] = static_cast<uint32_t>(total);
+  t.ys_.resize(total);
+  parallel::parallel_for(1, t.m_ + 1, [&](size_t p) {
+    size_t off = t.inner_off_[p - 1];
+    for (auto& [y, r] : per_node[p]) t.ys_[off++] = {y, t.by_x_[r].id};
+  });
   asym::count_write(total);
 
   if (stats) {
@@ -273,18 +282,21 @@ void AlphaRangeTree::set_critical(uint32_t v, uint64_t w, uint64_t sw) {
   }
 }
 
-uint64_t AlphaRangeTree::mark_rec(uint32_t v) {
+uint64_t AlphaRangeTree::mark_rec(uint32_t v, int par_depth) {
   if (v == kNull) return 1;
   asym::count_read();
-  uint64_t wl = mark_rec(pool_[v].left);
-  uint64_t wr = mark_rec(pool_[v].right);
-  if (pool_[v].left != kNull) set_critical(pool_[v].left, wl, wr);
-  if (pool_[v].right != kNull) set_critical(pool_[v].right, wr, wl);
+  uint32_t left = pool_[v].left, right = pool_[v].right;
+  uint64_t wl = 1, wr = 1;
+  parallel::par_do_if(par_depth > 0 && left != kNull && right != kNull,
+                      [&] { wl = mark_rec(left, par_depth - 1); },
+                      [&] { wr = mark_rec(right, par_depth - 1); });
+  if (left != kNull) set_critical(left, wl, wr);
+  if (right != kNull) set_critical(right, wr, wl);
   return wl + wr;
 }
 
 void AlphaRangeTree::mark_criticals(uint32_t v) {
-  uint64_t w = mark_rec(v);
+  uint64_t w = mark_rec(v, parallel::fork_depth_hint());
   set_critical(v, w, 0);
 }
 
@@ -310,16 +322,14 @@ void AlphaRangeTree::collect_inorder(uint32_t v,
 uint32_t AlphaRangeTree::build_balanced(std::vector<SkelEntry>& pts,
                                         size_t lo, size_t hi) {
   if (lo >= hi) return kNull;
-  size_t mid = lo + (hi - lo) / 2;
-  uint32_t v = alloc();
-  asym::count_write();
-  pool_[v].pt = pts[mid].pt;
-  pool_[v].dead = pts[mid].dead;
-  uint32_t l = build_balanced(pts, lo, mid);
-  uint32_t r = build_balanced(pts, mid + 1, hi);
-  pool_[v].left = l;
-  pool_[v].right = r;
-  return v;
+  // One path for every worker count: balanced_build_ids forks above the
+  // sequential cutoff and runs inline below it.
+  auto ids = claim_build_slots(pool_, free_, hi - lo);
+  return balanced_build_ids(pool_, pts, lo, hi, ids.data(),
+                            [](Node& nd, const SkelEntry& e) {
+                              nd.pt = e.pt;
+                              nd.dead = e.dead;
+                            });
 }
 
 void AlphaRangeTree::fill_inners(uint32_t c, std::vector<YX>& ylist) {
@@ -364,7 +374,16 @@ void AlphaRangeTree::fill_inners(uint32_t c, std::vector<YX>& ylist) {
       u = next;
     }
   }
-  for (auto& [cc, list] : buckets) fill_inners(cc, list);
+  // Buckets route into distinct critical subtrees (disjoint node sets), so
+  // large lists recurse in parallel, one fork per bucket.
+  if (ylist.size() > parallel::kSeqCutoff && buckets.size() > 1) {
+    parallel::parallel_for(
+        0, buckets.size(),
+        [&](size_t b) { fill_inners(buckets[b].first, buckets[b].second); },
+        1);
+  } else {
+    for (auto& [cc, list] : buckets) fill_inners(cc, list);
+  }
 }
 
 void AlphaRangeTree::rebuild(uint32_t v, uint32_t parent, int side,

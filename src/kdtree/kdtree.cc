@@ -9,7 +9,9 @@
 namespace weg::kdtree {
 
 namespace {
-constexpr size_t kSeqCutoff = 4096;  // below this, build sequentially
+// Below this, build sequentially: shares the scheduler-wide cutoff tuned for
+// the lock-free deque's fork cost.
+constexpr size_t kSeqCutoff = parallel::kSeqCutoff;
 }
 
 template <int K>

@@ -4,6 +4,7 @@
 // then runs them sequentially.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 
 #include "src/parallel/scheduler.h"
@@ -25,9 +26,26 @@ void parallel_for_rec(size_t lo, size_t hi, const F& f, size_t grain) {
 
 }  // namespace detail
 
+// Sequential cutoff for recursive tree/divide-and-conquer builds: below this
+// many elements a subproblem is cheaper to finish inline than to fork. Sized
+// for the lock-free deque's fork cost (~tens of ns); roughly the point where
+// fork overhead drops below ~0.1% of the subproblem's work.
+inline constexpr size_t kSeqCutoff = 2048;
+
+// Fork-depth budget for recursions whose subproblem sizes are unknown (e.g.
+// marking passes over pointer-based trees): forking the top ~log2(8p) levels
+// yields ~8p steallable tasks, enough slack for work stealing to balance
+// them without flooding the deques on skewed trees.
+inline int fork_depth_hint() {
+  unsigned p = static_cast<unsigned>(num_workers());
+  return p > 1 ? std::bit_width(8 * p) : 0;
+}
+
 // Applies f(i) for i in [start, end). grain == 0 picks an automatic grain of
-// max(1, (end-start) / (8p)) capped at 2048, which keeps scheduling overhead
-// below a few percent for fine-grained bodies.
+// max(1, (end-start) / (8p)) capped at 1024. With the lock-free Chase-Lev
+// deques a fork costs tens of nanoseconds, so the cap is half the old
+// mutex-era value: more steallable tasks per loop, still <1% scheduling
+// overhead for fine-grained bodies.
 template <typename F>
 void parallel_for(size_t start, size_t end, const F& f, size_t grain = 0) {
   if (start >= end) return;
@@ -35,13 +53,27 @@ void parallel_for(size_t start, size_t end, const F& f, size_t grain = 0) {
   if (grain == 0) {
     size_t p = static_cast<size_t>(num_workers());
     grain = n / (8 * p) + 1;
-    if (grain > 2048) grain = 2048;
+    if (grain > 1024) grain = 1024;
   }
   if (n <= grain || num_workers() == 1) {
     for (size_t i = start; i < end; ++i) f(i);
     return;
   }
   detail::parallel_for_rec(start, end, f, grain);
+}
+
+// Conditional fork: runs the two branches as a fork-join pair when
+// `parallel` holds (typically `subproblem size > kSeqCutoff`), inline
+// otherwise. Keeps the cutoff stanza in one place across the recursive tree
+// builds.
+template <typename L, typename R>
+inline void par_do_if(bool parallel, L&& l, R&& r) {
+  if (parallel) {
+    par_do(std::forward<L>(l), std::forward<R>(r));
+  } else {
+    l();
+    r();
+  }
 }
 
 // Fork-join over a fixed small number of thunks (used where the paper forks a

@@ -1,14 +1,24 @@
 #include "src/parallel/scheduler.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdlib>
-#include <string>
 
 namespace weg::parallel {
 
 namespace {
 
+// Per-thread deque slot: index into Scheduler::deques_, or kUnassigned for
+// threads that have not claimed one yet. The main thread claims slot 0 in
+// the Scheduler constructor; workers claim 1..p-1; other root threads are
+// assigned external slots lazily on their first par_do.
+constexpr int kUnassigned = -1;
+constexpr int kNoSlot = -2;  // external slots exhausted: serial forks
+thread_local int tl_deque_slot = kUnassigned;
+
 // Thread-local worker id. The main thread (the one constructing the
-// scheduler) is worker 0; spawned workers are 1..p-1.
+// scheduler) is worker 0; spawned workers are 1..p-1; external threads
+// report 0.
 thread_local int tl_worker_id = 0;
 
 size_t configured_workers() {
@@ -27,6 +37,16 @@ uint64_t splitmix64(uint64_t& s) {
   return z ^ (z >> 31);
 }
 
+inline void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
 Scheduler& Scheduler::instance() {
@@ -36,8 +56,11 @@ Scheduler& Scheduler::instance() {
 
 int Scheduler::worker_id() { return tl_worker_id; }
 
-Scheduler::Scheduler() : num_workers_(configured_workers()), deques_(num_workers_) {
+Scheduler::Scheduler()
+    : num_workers_(configured_workers()),
+      deques_(num_workers_ + kMaxExternal) {
   tl_worker_id = 0;
+  tl_deque_slot = 0;
   threads_.reserve(num_workers_ > 0 ? num_workers_ - 1 : 0);
   for (size_t i = 1; i < num_workers_; ++i) {
     threads_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
@@ -46,86 +69,77 @@ Scheduler::Scheduler() : num_workers_(configured_workers()), deques_(num_workers
 
 Scheduler::~Scheduler() {
   shutdown_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lk(idle_mu_);
-    idle_cv_.notify_all();
-  }
   for (auto& t : threads_) t.join();
 }
 
-void Scheduler::push_local(Job* job) {
-  auto& d = deques_[static_cast<size_t>(tl_worker_id)];
-  {
-    std::lock_guard<std::mutex> lk(d.mu);
-    d.jobs.push_back(job);
+detail::ChaseLevDeque* Scheduler::my_deque() {
+  int slot = tl_deque_slot;
+  if (slot == kUnassigned) {
+    uint32_t idx = external_next_.fetch_add(1, std::memory_order_relaxed);
+    slot = idx < kMaxExternal ? static_cast<int>(num_workers_ + idx) : kNoSlot;
+    tl_deque_slot = slot;
   }
-  num_pending_.fetch_add(1, std::memory_order_relaxed);
-  wake_one();
-}
-
-bool Scheduler::pop_if_present(Job* job) {
-  auto& d = deques_[static_cast<size_t>(tl_worker_id)];
-  std::lock_guard<std::mutex> lk(d.mu);
-  if (!d.jobs.empty() && d.jobs.back() == job) {
-    d.jobs.pop_back();
-    num_pending_.fetch_sub(1, std::memory_order_relaxed);
-    return true;
-  }
-  return false;
+  return slot >= 0 ? &deques_[static_cast<size_t>(slot)] : nullptr;
 }
 
 Job* Scheduler::try_steal(uint64_t& rng) {
-  // One sweep over victims starting at a random offset; steal from the top
-  // (FIFO end) to grab the largest remaining subcomputations.
-  size_t start = splitmix64(rng) % num_workers_;
-  for (size_t k = 0; k < num_workers_; ++k) {
-    auto& d = deques_[(start + k) % num_workers_];
-    std::lock_guard<std::mutex> lk(d.mu);
-    if (!d.jobs.empty()) {
-      Job* job = d.jobs.front();
-      d.jobs.pop_front();
-      num_pending_.fetch_sub(1, std::memory_order_relaxed);
-      return job;
-    }
+  // One sweep over the live deques (workers + however many external slots
+  // have been claimed so far) starting at a random offset; steal() takes
+  // from the top (FIFO end), grabbing the largest remaining subcomputations.
+  size_t ext = std::min<size_t>(external_next_.load(std::memory_order_relaxed),
+                                kMaxExternal);
+  size_t nd = num_workers_ + ext;
+  size_t start = splitmix64(rng) % nd;
+  for (size_t k = 0; k < nd; ++k) {
+    auto& d = deques_[(start + k) % nd];
+    if (d.maybe_empty()) continue;
+    if (Job* job = d.steal()) return job;
   }
   return nullptr;
 }
 
+// Exponential backoff: tight pause loop first, then yields, then sleeps with
+// exponentially growing duration capped at ~1 ms (so shutdown and new work
+// are picked up promptly without a wake-up protocol).
+void Scheduler::backoff(unsigned failures) {
+  if (failures < 16) {
+    cpu_pause();
+  } else if (failures < 64) {
+    std::this_thread::yield();
+  } else {
+    unsigned shift = std::min(failures - 64u, 10u);
+    std::this_thread::sleep_for(std::chrono::microseconds(1u << shift));
+  }
+}
+
 void Scheduler::wait_for(Job* job) {
-  uint64_t rng = 0x12345678ULL + static_cast<uint64_t>(tl_worker_id);
+  // Seed from the deque slot, which is unique per joining thread (external
+  // roots all report worker id 0 but own distinct slots), so concurrent
+  // joiners probe victims in decorrelated orders.
+  uint64_t rng = 0x12345678ULL + static_cast<uint64_t>(tl_deque_slot + 1);
+  unsigned failures = 0;
   while (!job->done.load(std::memory_order_acquire)) {
     if (Job* other = try_steal(rng)) {
+      failures = 0;
       other->execute();
     } else {
-      std::this_thread::yield();
+      backoff(++failures);
     }
   }
 }
 
-void Scheduler::wake_one() {
-  idle_cv_.notify_one();
-}
-
 void Scheduler::worker_loop(int id) {
   tl_worker_id = id;
+  tl_deque_slot = id;
   uint64_t rng = 0x9e3779b9ULL * static_cast<uint64_t>(id + 1);
-  int idle_spins = 0;
+  unsigned failures = 0;
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Job* job = try_steal(rng)) {
-      idle_spins = 0;
+      failures = 0;
       job->execute();
       continue;
     }
-    if (++idle_spins < 64) {
-      std::this_thread::yield();
-      continue;
-    }
-    std::unique_lock<std::mutex> lk(idle_mu_);
-    idle_cv_.wait_for(lk, std::chrono::milliseconds(1), [this] {
-      return shutdown_.load(std::memory_order_acquire) ||
-             num_pending_.load(std::memory_order_relaxed) > 0;
-    });
-    idle_spins = 0;
+    backoff(++failures);
   }
 }
 

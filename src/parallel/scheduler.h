@@ -5,19 +5,21 @@
 // expected time, which is the execution model the Asymmetric NP model
 // inherits.
 //
-// Design: each worker owns a deque of jobs. par_do pushes the right branch to
-// the local deque and runs the left branch inline; on return it reclaims the
-// right branch if nobody stole it, otherwise it helps (steals other jobs)
-// until the stolen branch completes. Deques are mutex-protected — contention
-// is negligible because forks are coarsened by the granularity control in
-// parallel_for.h.
+// Design: each worker owns a lock-free Chase-Lev deque (Chase & Lev,
+// SPAA'05) in the C11 formulation of Lê et al. (PPoPP'13), with the
+// standalone fences replaced by equivalent orderings on the index variables
+// themselves so the protocol is fully visible to ThreadSanitizer. par_do
+// pushes the right branch onto the owner's deque and runs the left branch
+// inline; on return it reclaims the right branch with a single lock-free pop
+// if nobody stole it, otherwise it helps (steals other jobs) until the
+// stolen branch completes. Idle workers back off exponentially (spin ->
+// yield -> microsleep) instead of blocking on a condition variable, so a
+// steal after a quiet period costs no syscall round-trip.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
+#include <cassert>
 #include <cstdint>
-#include <deque>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -51,6 +53,94 @@ class FuncJob final : public Job {
   F& f_;
 };
 
+// Lock-free Chase-Lev work-stealing deque with a fixed-capacity ring buffer.
+// The owner pushes and pops at the bottom; thieves steal from the top, so
+// thieves grab the oldest (largest) subcomputations. `top_` is monotonically
+// increasing, which rules out ABA on the steal CAS: a slot can only be
+// overwritten after `top_` has advanced past it (push refuses to wrap onto
+// unconsumed entries), so a successful CAS at top value t proves the slot
+// read was valid for t throughout.
+//
+// Memory ordering (TSan-friendly variant of Lê et al.):
+//  * push publishes the slot via the release store of bottom_; steal's
+//    seq_cst load of bottom_ synchronizes with it, so the thief sees the
+//    job's construction.
+//  * pop's seq_cst exchange of bottom_ and seq_cst load of top_ pair with
+//    steal's seq_cst loads: in any seq_cst total order, either the thief
+//    observes the decremented bottom (and gives up) or the owner observes
+//    the advanced top (and takes the one-element race through the CAS).
+class ChaseLevDeque {
+ public:
+  // Jobs pushed per deque are bounded by the depth of the inline fork spine,
+  // so 8192 covers any sane recursion; par_do degrades to serial execution
+  // (correct, just unstolen) if the ring ever fills.
+  static constexpr size_t kCapacity = 8192;
+
+  // Owner only. Returns false when the ring is full.
+  bool push(Job* job) {
+    int64_t b = bottom_.load(std::memory_order_relaxed);
+    int64_t t = top_.load(std::memory_order_acquire);
+    if (b - t >= static_cast<int64_t>(kCapacity)) return false;
+    buffer_[static_cast<size_t>(b) & kMask].store(job,
+                                                  std::memory_order_relaxed);
+    bottom_.store(b + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Owner only. Returns the most recently pushed job, or nullptr if the
+  // deque is empty or a thief won the race for the last element.
+  Job* pop() {
+    int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.exchange(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {  // empty: undo the reservation
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    Job* job = buffer_[static_cast<size_t>(b) & kMask].load(
+        std::memory_order_relaxed);
+    if (t == b) {
+      // Last element: race thieves by advancing top_ ourselves.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        job = nullptr;  // a thief got it
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return job;
+  }
+
+  // Any thread. Returns nullptr when empty or when another thief (or the
+  // owner's last-element pop) won the race.
+  Job* steal() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) return nullptr;
+    Job* job =
+        buffer_[static_cast<size_t>(t) & kMask].load(std::memory_order_relaxed);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;
+    }
+    return job;
+  }
+
+  // Cheap emptiness probe for victim scans (may be stale).
+  bool maybe_empty() const {
+    return top_.load(std::memory_order_relaxed) >=
+           bottom_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kMask = kCapacity - 1;
+  static_assert((kCapacity & kMask) == 0, "capacity must be a power of two");
+
+  alignas(64) std::atomic<int64_t> top_{0};
+  alignas(64) std::atomic<int64_t> bottom_{0};
+  alignas(64) std::vector<std::atomic<Job*>> buffer_ =
+      std::vector<std::atomic<Job*>>(kCapacity);
+};
+
 }  // namespace detail
 
 // Singleton scheduler. Worker count defaults to std::thread::hardware
@@ -72,6 +162,10 @@ class Scheduler {
   static int worker_id();
 
   // Fork-join of exactly two branches (binary forking, as in the model).
+  // Safe to call concurrently from multiple root threads: each root thread
+  // lazily claims a private deque slot. Slots are never recycled, so after
+  // kMaxExternal distinct external threads over the process lifetime, par_do
+  // degrades to serial execution for later threads.
   template <typename L, typename R>
   void par_do(L&& left, R&& right) {
     if (num_workers_ == 1) {
@@ -79,41 +173,49 @@ class Scheduler {
       right();
       return;
     }
+    detail::ChaseLevDeque* deque = my_deque();
     detail::FuncJob<R> rjob(right);
-    push_local(&rjob);
+    if (deque == nullptr || !deque->push(&rjob)) {
+      left();  // no slot / ring full: run both branches inline
+      right();
+      return;
+    }
     left();
-    if (!pop_if_present(&rjob)) {
-      wait_for(&rjob);  // stolen: help until it completes
-    } else {
+    if (Job* j = deque->pop()) {
+      // When left() returns, every job it pushed has been joined, so the
+      // bottom of the deque is rjob unless a thief took it (thieves consume
+      // the entries above it first).
+      assert(j == &rjob);
+      static_cast<void>(j);
       rjob.execute();
+    } else {
+      wait_for(&rjob);  // stolen: help until it completes
     }
   }
 
   ~Scheduler();
 
  private:
+  // Extra single-owner deques handed to external root threads (threads the
+  // scheduler does not own that call par_do). Slots are never recycled, so
+  // external-thread churn beyond this count falls back to serial forks.
+  static constexpr size_t kMaxExternal = 32;
+
   Scheduler();
 
-  void push_local(Job* job);
-  // Removes `job` from the bottom of the local deque if it is still there.
-  bool pop_if_present(Job* job);
+  // Deque owned by the calling thread, claiming an external slot on first
+  // use; nullptr when the external slots are exhausted.
+  detail::ChaseLevDeque* my_deque();
   Job* try_steal(uint64_t& rng);
   void wait_for(Job* job);
   void worker_loop(int id);
-  void wake_one();
-
-  struct alignas(64) WorkerDeque {
-    std::mutex mu;
-    std::deque<Job*> jobs;
-  };
+  static void backoff(unsigned failures);
 
   size_t num_workers_;
-  std::vector<WorkerDeque> deques_;
+  std::vector<detail::ChaseLevDeque> deques_;  // workers then external slots
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
-  std::atomic<int64_t> num_pending_{0};  // jobs pushed but not yet executed
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  std::atomic<uint32_t> external_next_{0};
 };
 
 // Convenience free function: fork-join two branches.

@@ -17,7 +17,10 @@ namespace weg::primitives {
 
 namespace detail {
 
-inline constexpr size_t kSortBase = 4096;
+// Base-case size shares the scheduler-wide sequential cutoff: with the
+// lock-free deque a fork is cheap enough to split runs twice as fine as the
+// mutex-era 4096, exposing more parallelism in the merge tree.
+inline constexpr size_t kSortBase = parallel::kSeqCutoff;
 
 // Merges a[alo,ahi) and a[blo,bhi) into out[olo,...). Parallel: splits the
 // larger run at its midpoint and binary-searches the split key in the other.

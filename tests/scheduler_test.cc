@@ -1,0 +1,134 @@
+// Stress tests for the lock-free Chase-Lev work-stealing scheduler: deep
+// nesting, fork spines deeper than the deque capacity (serial-fallback
+// path), concurrent root threads, steal-heavy unbalanced recursions, and
+// result determinism. The CMake registration runs this suite at
+// WEG_NUM_THREADS = 1, 2, and 8 on top of the default, so every assertion
+// holds across worker counts — including oversubscribed ones.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "src/parallel/parallel_for.h"
+#include "src/parallel/scheduler.h"
+
+namespace weg::parallel {
+namespace {
+
+TEST(SchedulerStress, DeeplyNestedParDo) {
+  // ~150k forks, every join either pops its own job or helps a thief.
+  auto fib = [](auto&& self, int n) -> uint64_t {
+    if (n <= 1) return static_cast<uint64_t>(n);
+    uint64_t a = 0, b = 0;
+    par_do([&] { a = self(self, n - 1); }, [&] { b = self(self, n - 2); });
+    return a + b;
+  };
+  EXPECT_EQ(fib(fib, 25), 75025u);
+}
+
+TEST(SchedulerStress, SpineDeeperThanDequeCapacity) {
+  // A left-leaning spine pushes one right branch per frame without joining,
+  // so unless thieves drain it the deque hits kCapacity and par_do must fall
+  // back to inline execution without losing jobs.
+  constexpr int kDepth = 9000;
+  static_assert(kDepth > static_cast<int>(detail::ChaseLevDeque::kCapacity));
+  std::atomic<int64_t> sum{0};
+  auto chain = [&](auto&& self, int d) -> void {
+    if (d == 0) return;
+    par_do([&] { self(self, d - 1); },
+           [&] { sum.fetch_add(1, std::memory_order_relaxed); });
+  };
+  chain(chain, kDepth);
+  EXPECT_EQ(sum.load(), kDepth);
+}
+
+TEST(SchedulerStress, ConcurrentRootsFromExternalThreads) {
+  // Several user threads (none owned by the scheduler) submit parallel work
+  // at once; each claims its own deque slot and helps while joining.
+  constexpr int kRoots = 4;
+  constexpr size_t kN = 200000;
+  std::vector<std::vector<uint64_t>> results(kRoots);
+  std::vector<std::thread> roots;
+  roots.reserve(kRoots);
+  for (int r = 0; r < kRoots; ++r) {
+    roots.emplace_back([r, &results] {
+      auto& v = results[static_cast<size_t>(r)];
+      v.assign(kN, 0);
+      parallel_for(0, kN, [&](size_t i) {
+        v[i] = static_cast<uint64_t>(i) * static_cast<uint64_t>(r + 1);
+      });
+    });
+  }
+  for (auto& t : roots) t.join();
+  for (int r = 0; r < kRoots; ++r) {
+    uint64_t sum = 0;
+    for (uint64_t x : results[static_cast<size_t>(r)]) sum += x;
+    EXPECT_EQ(sum, static_cast<uint64_t>(r + 1) * (kN * (kN - 1) / 2)) << r;
+  }
+}
+
+TEST(SchedulerStress, UnbalancedRecursionBalancesViaStealing) {
+  // 1/8 vs 7/8 splits: the inline (left) branch finishes early, so progress
+  // depends on thieves repeatedly stealing the large right branches.
+  constexpr size_t kN = size_t{1} << 20;
+  std::atomic<uint64_t> sum{0};
+  auto rec = [&](auto&& self, size_t lo, size_t hi) -> void {
+    if (hi - lo <= 512) {
+      uint64_t local = 0;
+      for (size_t i = lo; i < hi; ++i) local += i;
+      sum.fetch_add(local, std::memory_order_relaxed);
+      return;
+    }
+    size_t mid = lo + (hi - lo) / 8;
+    par_do([&] { self(self, lo, mid); }, [&] { self(self, mid, hi); });
+  };
+  rec(rec, 0, kN);
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(SchedulerStress, NestedParallelForInsideParDo) {
+  // parallel_for bodies that themselves fork, from two outer branches.
+  constexpr size_t kOuter = 64, kInner = 5000;
+  std::vector<std::atomic<uint32_t>> hits(kOuter * kInner);
+  auto run_half = [&](size_t base) {
+    parallel_for(0, kOuter, [&](size_t o) {
+      parallel_for(0, kInner, [&](size_t i) {
+        hits[(base + o) % kOuter * kInner + i].fetch_add(
+            1, std::memory_order_relaxed);
+      });
+    });
+  };
+  par_do([&] { run_half(0); }, [&] { run_half(kOuter / 2); });
+  for (auto& h : hits) ASSERT_EQ(h.load(), 2u);
+}
+
+TEST(SchedulerStress, DeterministicResultAcrossSchedules) {
+  // The same computation must produce bit-identical results on every run
+  // and at every worker count (the registration reruns this at p=1,2,8).
+  auto compute = [] {
+    std::vector<uint64_t> v(300000);
+    parallel_for(0, v.size(), [&](size_t i) {
+      uint64_t x = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 29;
+      v[i] = x;
+    });
+    uint64_t h = 1469598103934665603ULL;
+    for (uint64_t x : v) h = (h ^ x) * 1099511628211ULL;
+    return h;
+  };
+  uint64_t serial = [] {
+    uint64_t h = 1469598103934665603ULL;
+    for (size_t i = 0; i < 300000; ++i) {
+      uint64_t x = static_cast<uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+      x ^= x >> 29;
+      h = (h ^ x) * 1099511628211ULL;
+    }
+    return h;
+  }();
+  for (int trial = 0; trial < 3; ++trial) EXPECT_EQ(compute(), serial);
+}
+
+}  // namespace
+}  // namespace weg::parallel
