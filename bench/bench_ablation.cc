@@ -94,9 +94,23 @@ void BM_A3_DelaunayInitialBatch(benchmark::State& state) {
   state.counters["prefix_rounds"] = double(st.prefix_rounds);
 }
 
-BENCHMARK(BM_A1_SplitRule)->Arg(0)->Arg(1)->Arg(2)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_A2_SortCutoff)->Arg(2)->Arg(0)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_A3_DelaunayInitialBatch)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_A1_SplitRule)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_A2_SortCutoff)
+    ->Arg(2)
+    ->Arg(0)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_A3_DelaunayInitialBatch)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

@@ -58,8 +58,21 @@ void BM_Fig3AdversarialSpine(benchmark::State& state) {
   state.counters["rebuilds"] = double(rebuilds);
 }
 
-BENCHMARK(BM_UpdateWorkVsAlphaOmega)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_Fig3AdversarialSpine)->Arg(2)->Arg(8)->Arg(32)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_UpdateWorkVsAlphaOmega)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig3AdversarialSpine)
+    ->Arg(2)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

@@ -86,12 +86,48 @@ void BM_RangeAlpha(benchmark::State& state) {
 // Sizes reach 2^20 (~10^6) so the parallel construction paths (sequential
 // cutoff ~2k) dominate; UseRealTime records wall clock, which is the number
 // that shows the work-stealing speedup (cpu_time sums across workers).
-BENCHMARK(BM_IntervalClassic)->RangeMultiplier(4)->Range(1 << 13, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
-BENCHMARK(BM_IntervalPostsorted)->RangeMultiplier(4)->Range(1 << 13, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
-BENCHMARK(BM_PriorityClassic)->RangeMultiplier(4)->Range(1 << 13, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
-BENCHMARK(BM_PriorityPostsorted)->RangeMultiplier(4)->Range(1 << 13, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
-BENCHMARK(BM_RangeClassic)->Arg(1 << 13)->Arg(1 << 15)->Arg(1 << 17)->Arg(1 << 19)->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
-BENCHMARK(BM_RangeAlpha)->Args({1 << 15, 2})->Args({1 << 15, 4})->Args({1 << 15, 8})->Args({1 << 15, 16})->Args({1 << 17, 8})->Args({1 << 19, 8})->Unit(benchmark::kMillisecond)->Iterations(1)->UseRealTime();
+BENCHMARK(BM_IntervalClassic)
+    ->RangeMultiplier(4)
+    ->Range(1 << 13, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+BENCHMARK(BM_IntervalPostsorted)
+    ->RangeMultiplier(4)
+    ->Range(1 << 13, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+BENCHMARK(BM_PriorityClassic)
+    ->RangeMultiplier(4)
+    ->Range(1 << 13, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+BENCHMARK(BM_PriorityPostsorted)
+    ->RangeMultiplier(4)
+    ->Range(1 << 13, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+BENCHMARK(BM_RangeClassic)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Arg(1 << 17)
+    ->Arg(1 << 19)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+BENCHMARK(BM_RangeAlpha)
+    ->Args({1 << 15, 2})
+    ->Args({1 << 15, 4})
+    ->Args({1 << 15, 8})
+    ->Args({1 << 15, 16})
+    ->Args({1 << 17, 8})
+    ->Args({1 << 19, 8})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace weg

@@ -41,8 +41,18 @@ void BM_OneByOneInsert(benchmark::State& state) {
   bench::report_cost(state, cost, double(m));
 }
 
-BENCHMARK(BM_BulkInsert)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_OneByOneInsert)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_BulkInsert)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_OneByOneInsert)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

@@ -32,8 +32,16 @@ void BM_DelaunayWriteEfficient(benchmark::State& state) {
   run_mode(state, delaunay::Mode::kWriteEfficient);
 }
 
-BENCHMARK(BM_DelaunayBaseline)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_DelaunayWriteEfficient)->RangeMultiplier(4)->Range(1 << 10, 1 << 16)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_DelaunayBaseline)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_DelaunayWriteEfficient)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

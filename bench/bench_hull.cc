@@ -43,10 +43,24 @@ void BM_HullWECircle(benchmark::State& state) {
   run(state, hull::SortMode::kWriteEfficient, true);
 }
 
-BENCHMARK(BM_HullClassicUniform)->RangeMultiplier(8)->Range(1 << 13, 1 << 19)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_HullWEUniform)->RangeMultiplier(8)->Range(1 << 13, 1 << 19)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_HullClassicCircle)->Arg(1 << 16)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_HullWECircle)->Arg(1 << 16)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_HullClassicUniform)
+    ->RangeMultiplier(8)
+    ->Range(1 << 13, 1 << 19)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HullWEUniform)
+    ->RangeMultiplier(8)
+    ->Range(1 << 13, 1 << 19)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HullClassicCircle)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_HullWECircle)
+    ->Arg(1 << 16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

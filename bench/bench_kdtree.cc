@@ -65,10 +65,25 @@ void BM_KdPSweep(benchmark::State& state) {
   state.counters["slab_nodes_visited"] = double(qs.nodes_visited);
 }
 
-BENCHMARK(BM_KdClassic)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_KdPBatched)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_KdClassic)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_KdPBatched)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 // p sweep: 1 (pure incremental), log n, log^2 n, log^3 n, n/16.
-BENCHMARK(BM_KdPSweep)->Arg(1)->Arg(17)->Arg(289)->Arg(4913)->Arg(8192)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_KdPSweep)
+    ->Arg(1)
+    ->Arg(17)
+    ->Arg(289)
+    ->Arg(4913)
+    ->Arg(8192)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

@@ -70,10 +70,26 @@ void BM_QueryForestVsSingle(benchmark::State& state) {
   state.counters["single_nodes"] = double(qt.nodes_visited);
 }
 
-BENCHMARK(BM_ForestClassicRebuild)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_ForestPBatchedRebuild)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_SingleTreeRangeOptimal)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_SingleTreeAnnOnly)->Arg(1 << 13)->Arg(1 << 15)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ForestClassicRebuild)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ForestPBatchedRebuild)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SingleTreeRangeOptimal)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SingleTreeAnnOnly)
+    ->Arg(1 << 13)
+    ->Arg(1 << 15)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(BM_QueryForestVsSingle)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 }  // namespace

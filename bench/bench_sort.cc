@@ -56,9 +56,21 @@ void BM_SortMergesort(benchmark::State& state) {
   bench::report_cost(state, cost, double(n));
 }
 
-BENCHMARK(BM_SortClassicBST)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_SortWriteEfficient)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
-BENCHMARK(BM_SortMergesort)->RangeMultiplier(4)->Range(1 << 12, 1 << 20)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SortClassicBST)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SortWriteEfficient)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_SortMergesort)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 20)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 
 }  // namespace
 }  // namespace weg

@@ -1,20 +1,79 @@
 #!/usr/bin/env bash
-# Records the repo's perf trajectory: runs the augmented-tree construction
-# and sort benchmarks with --benchmark_out JSON and writes BENCH_augtree.json
-# / BENCH_sort.json at the repo root (committed so every PR's numbers are
-# comparable). A serial baseline (WEG_NUM_THREADS=1) lands next to them as
-# BENCH_augtree_serial.json so speedup = serial real_time / parallel
+# Records the repo's perf trajectory: runs the benchmark binaries with
+# --benchmark_out JSON and writes BENCH_<name>.json files at the repo root
+# (committed so every PR's numbers are comparable). Benches with a parallel
+# code path also record a serial baseline (WEG_NUM_THREADS=1) next to them as
+# BENCH_<name>_serial.json, so speedup = serial real_time / parallel
 # real_time can be computed per benchmark row without rebuilding anything.
-# All three files are written to temporaries and moved into place together,
-# so an interrupted run never leaves a mixed-version trajectory.
+# All produced files are written to temporaries and moved into place
+# together, so an interrupted run never leaves a mixed-version trajectory.
 #
-# Usage:  bench/run_benches.sh [build-dir]     (default: build/release)
+# Usage:  bench/run_benches.sh [--filter <regex>] [build-dir]
+#   --filter <regex>  only run benches whose name matches (augtree, sort,
+#                     hull, delaunay, kdtree_dynamic); the other BENCH files
+#                     are left untouched.
+#   build-dir         defaults to build/release
+#
+# Exits non-zero if any requested bench binary is missing (a silently
+# skipped bench would otherwise read as "no regression" in CI).
 set -euo pipefail
 cd "$(dirname "$0")/.."
-BUILD=${1:-build/release}
 
-if [[ ! -x "$BUILD/bench/bench_augtree_construction" ]]; then
-  echo "bench binaries not found under $BUILD/bench — build them first:" >&2
+FILTER=""
+BUILD="build/release"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --filter)
+      [[ $# -ge 2 ]] || { echo "--filter needs an argument" >&2; exit 2; }
+      FILTER="$2"
+      shift 2
+      ;;
+    --filter=*)
+      FILTER="${1#--filter=}"
+      shift
+      ;;
+    -h|--help)
+      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      exit 0
+      ;;
+    *)
+      BUILD="$1"
+      shift
+      ;;
+  esac
+done
+
+# name : binary : parallel (yes records an extra WEG_NUM_THREADS=1 baseline)
+BENCHES=(
+  "augtree:bench_augtree_construction:yes"
+  "sort:bench_sort:no"
+  "hull:bench_hull:yes"
+  "delaunay:bench_delaunay:yes"
+  "kdtree_dynamic:bench_kdtree_dynamic:yes"
+)
+
+selected=()
+for entry in "${BENCHES[@]}"; do
+  name="${entry%%:*}"
+  if [[ -z "$FILTER" ]] || [[ "$name" =~ $FILTER ]]; then
+    selected+=("$entry")
+  fi
+done
+if [[ ${#selected[@]} -eq 0 ]]; then
+  echo "no benches match --filter '$FILTER'" >&2
+  exit 2
+fi
+
+missing=0
+for entry in "${selected[@]}"; do
+  bin="$(cut -d: -f2 <<<"$entry")"
+  if [[ ! -x "$BUILD/bench/$bin" ]]; then
+    echo "missing bench binary: $BUILD/bench/$bin" >&2
+    missing=1
+  fi
+done
+if [[ $missing -ne 0 ]]; then
+  echo "build them first:" >&2
   echo "  cmake --preset release && cmake --build --preset release -j" >&2
   exit 1
 fi
@@ -22,24 +81,31 @@ fi
 tmp=$(mktemp -d "$BUILD/bench_json.XXXXXX")
 trap 'rm -rf "$tmp"' EXIT
 
-echo "== augtree construction (default threads: ${WEG_NUM_THREADS:-auto}) =="
-"$BUILD/bench/bench_augtree_construction" \
-  --benchmark_out="$tmp/BENCH_augtree.json" --benchmark_out_format=json
+produced=()
+for entry in "${selected[@]}"; do
+  name="$(cut -d: -f1 <<<"$entry")"
+  bin="$(cut -d: -f2 <<<"$entry")"
+  par="$(cut -d: -f3 <<<"$entry")"
+  echo "== $name (default threads: ${WEG_NUM_THREADS:-auto}) =="
+  "$BUILD/bench/$bin" \
+    --benchmark_out="$tmp/BENCH_$name.json" --benchmark_out_format=json
+  produced+=("BENCH_$name.json")
+  if [[ "$par" == "yes" ]]; then
+    if [[ "${WEG_NUM_THREADS:-}" == "1" ]]; then
+      # The main run above was already serial; reuse it so the baseline can
+      # never go stale relative to BENCH_$name.json.
+      cp "$tmp/BENCH_$name.json" "$tmp/BENCH_${name}_serial.json"
+    else
+      echo "== $name (serial baseline, WEG_NUM_THREADS=1) =="
+      WEG_NUM_THREADS=1 "$BUILD/bench/$bin" \
+        --benchmark_out="$tmp/BENCH_${name}_serial.json" \
+        --benchmark_out_format=json
+    fi
+    produced+=("BENCH_${name}_serial.json")
+  fi
+done
 
-echo "== sort =="
-"$BUILD/bench/bench_sort" \
-  --benchmark_out="$tmp/BENCH_sort.json" --benchmark_out_format=json
-
-if [[ "${WEG_NUM_THREADS:-}" == "1" ]]; then
-  # The main run above was already serial; reuse it so the baseline can
-  # never go stale relative to BENCH_augtree.json.
-  cp "$tmp/BENCH_augtree.json" "$tmp/BENCH_augtree_serial.json"
-else
-  echo "== augtree construction (serial baseline, WEG_NUM_THREADS=1) =="
-  WEG_NUM_THREADS=1 "$BUILD/bench/bench_augtree_construction" \
-    --benchmark_out="$tmp/BENCH_augtree_serial.json" --benchmark_out_format=json
-fi
-
-mv "$tmp/BENCH_augtree.json" "$tmp/BENCH_sort.json" \
-   "$tmp/BENCH_augtree_serial.json" .
-echo "wrote BENCH_augtree.json, BENCH_sort.json, BENCH_augtree_serial.json"
+for f in "${produced[@]}"; do
+  mv "$tmp/$f" .
+done
+echo "wrote ${produced[*]}"

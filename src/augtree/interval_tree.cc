@@ -6,7 +6,7 @@
 #include <limits>
 #include <unordered_map>
 
-#include "src/augtree/par_build.h"
+#include "src/parallel/par_build.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/semisort.h"
 #include "src/primitives/sort.h"
@@ -447,12 +447,13 @@ uint32_t DynamicIntervalTree::build_balanced(
   if (lo >= hi) return kNull;
   // One path for every worker count: balanced_build_ids forks above the
   // sequential cutoff and runs inline below it.
-  auto ids = claim_build_slots(pool_, free_, hi - lo);
-  return balanced_build_ids(pool_, keys, lo, hi, ids.data(),
-                            [](Node& nd, const std::pair<double, bool>& e) {
-                              nd.key = e.first;
-                              nd.dead = e.second;
-                            });
+  auto ids = parallel::claim_build_slots(pool_, free_, hi - lo);
+  return parallel::balanced_build_ids(
+      pool_, keys, lo, hi, ids.data(),
+      [](Node& nd, const std::pair<double, bool>& e) {
+        nd.key = e.first;
+        nd.dead = e.second;
+      });
 }
 
 void DynamicIntervalTree::set_critical(uint32_t v, uint64_t w,

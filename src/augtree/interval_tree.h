@@ -128,8 +128,8 @@ class DynamicIntervalTree {
   // Rebuilds the subtree at v; parent == kNull rebuilds the whole tree
   // (dropping dead keys); side selects the parent's child slot.
   void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
-  // Builds via the shared id-slice path (par_build.h): forks above the
-  // sequential cutoff, inline below it.
+  // Builds via the shared id-slice path (src/parallel/par_build.h): forks
+  // above the sequential cutoff, inline below it.
   uint32_t build_balanced(std::vector<std::pair<double, bool>>& keys,
                           size_t lo, size_t hi);
   // Post-order weight computation marking v's descendants critical per the

@@ -5,7 +5,7 @@
 #include <cassert>
 #include <limits>
 
-#include "src/augtree/par_build.h"
+#include "src/parallel/par_build.h"
 #include "src/augtree/tournament.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/sort.h"
@@ -60,8 +60,10 @@ StaticPriorityTree StaticPriorityTree::build_classic(
     size_t mid = (set.size() - 1) / 2;  // left gets positions [0, mid]
     asym::count_read(set.size());
     asym::count_write(set.size());  // the two copies
-    std::vector<PPoint> left(set.begin(), set.begin() + static_cast<long>(mid) + 1);
-    std::vector<PPoint> right(set.begin() + static_cast<long>(mid) + 1, set.end());
+    std::vector<PPoint> left(set.begin(),
+                             set.begin() + static_cast<long>(mid) + 1);
+    std::vector<PPoint> right(set.begin() + static_cast<long>(mid) + 1,
+                              set.end());
     t.pool_[id].split = set[mid].x;
     uint32_t lbase = base + 1;
     uint32_t rbase = lbase + static_cast<uint32_t>(left.size());
@@ -396,7 +398,8 @@ uint32_t DynamicPriorityTree::build_range(std::vector<PPoint>& pts, size_t lo,
   // call creates one node; a size-1 range or a critical node consumes a
   // point, a secondary node splits size s >= 2 into two strictly smaller
   // ranges, so N(s) <= 2s - 1 by induction.
-  std::vector<uint32_t> slots = claim_build_slots(pool_, free_, 2 * n);
+  std::vector<uint32_t> slots =
+      parallel::claim_build_slots(pool_, free_, 2 * n);
   std::atomic<uint32_t> cursor{0};
   uint32_t root = build_range_ids(pts, lo, hi, sibling_points, slots, cursor);
   // Return the unused slack to the free list.
@@ -407,11 +410,9 @@ uint32_t DynamicPriorityTree::build_range(std::vector<PPoint>& pts, size_t lo,
   return root;
 }
 
-uint32_t DynamicPriorityTree::build_range_ids(std::vector<PPoint>& pts,
-                                              size_t lo, size_t hi,
-                                              uint64_t sibling_points,
-                                              const std::vector<uint32_t>& slots,
-                                              std::atomic<uint32_t>& cursor) {
+uint32_t DynamicPriorityTree::build_range_ids(
+    std::vector<PPoint>& pts, size_t lo, size_t hi, uint64_t sibling_points,
+    const std::vector<uint32_t>& slots, std::atomic<uint32_t>& cursor) {
   if (lo >= hi) return kNull;
   uint64_t w = (hi - lo) + 1;
   uint32_t id = slots[cursor.fetch_add(1, std::memory_order_relaxed)];

@@ -4,7 +4,7 @@
 #include <cassert>
 #include <limits>
 
-#include "src/augtree/par_build.h"
+#include "src/parallel/par_build.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/sort.h"
 #include "src/sort/incremental_sort.h"
@@ -136,7 +136,9 @@ void StaticRangeTree::covered(size_t pos, double yb, double yt,
   size_t lo = inner_off_[pos - 1], hi = inner_off_[pos];
   auto first = std::lower_bound(
       ys_.begin() + lo, ys_.begin() + hi, yb,
-      [](const std::pair<double, uint32_t>& e, double v) { return e.first < v; });
+      [](const std::pair<double, uint32_t>& e, double v) {
+        return e.first < v;
+      });
   asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
   for (auto it = first; it != ys_.begin() + hi && it->first <= yt; ++it) {
     asym::count_read();
@@ -230,7 +232,8 @@ size_t StaticRangeTree::query_count(double xl, double xr, double yb,
             [](double v, const std::pair<double, uint32_t>& e) {
               return v < e.first;
             });
-        asym::count_read(static_cast<uint64_t>(2 * std::bit_width(hi - lo + 1)));
+        asym::count_read(
+            static_cast<uint64_t>(2 * std::bit_width(hi - lo + 1)));
         c += static_cast<size_t>(last - first);
       },
       [&](size_t rank) {
@@ -324,12 +327,12 @@ uint32_t AlphaRangeTree::build_balanced(std::vector<SkelEntry>& pts,
   if (lo >= hi) return kNull;
   // One path for every worker count: balanced_build_ids forks above the
   // sequential cutoff and runs inline below it.
-  auto ids = claim_build_slots(pool_, free_, hi - lo);
-  return balanced_build_ids(pool_, pts, lo, hi, ids.data(),
-                            [](Node& nd, const SkelEntry& e) {
-                              nd.pt = e.pt;
-                              nd.dead = e.dead;
-                            });
+  auto ids = parallel::claim_build_slots(pool_, free_, hi - lo);
+  return parallel::balanced_build_ids(pool_, pts, lo, hi, ids.data(),
+                                      [](Node& nd, const SkelEntry& e) {
+                                        nd.pt = e.pt;
+                                        nd.dead = e.dead;
+                                      });
 }
 
 void AlphaRangeTree::fill_inners(uint32_t c, std::vector<YX>& ylist) {

@@ -121,8 +121,8 @@ class AlphaRangeTree {
   uint32_t alloc();
   void bump_and_rebalance(const std::vector<uint32_t>& path);
   void rebuild(uint32_t v, uint32_t parent, int side, uint64_t old_init);
-  // Builds via the shared id-slice path (par_build.h): forks above the
-  // sequential cutoff, inline below it.
+  // Builds via the shared id-slice path (src/parallel/par_build.h): forks
+  // above the sequential cutoff, inline below it.
   uint32_t build_balanced(std::vector<SkelEntry>& pts, size_t lo, size_t hi);
   uint64_t mark_rec(uint32_t v, int par_depth);
   void set_critical(uint32_t v, uint64_t w, uint64_t sw);

@@ -1,6 +1,7 @@
 #include "src/delaunay/delaunay.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cassert>
 #include <cmath>
@@ -9,6 +10,7 @@
 #include "src/core/prefix_doubling.h"
 #include "src/parallel/parallel_for.h"
 #include "src/parallel/priority_write.h"
+#include "src/primitives/sequence.h"
 
 namespace weg::delaunay {
 
@@ -23,19 +25,47 @@ struct PerPoint {
   bool won = false;
 };
 
+// Fixed block size for the uncounted bookkeeping passes (bounding box,
+// active-set compaction): never a function of the worker count, so the
+// rounds — and every counted access they make — are identical at every
+// WEG_NUM_THREADS. These passes mirror primitives::reduce/pack but stay
+// local: the shared helpers charge asym counts and take whole sequences,
+// while these are uncounted bookkeeping over subranges/scratch.
+constexpr size_t kBlock = primitives::kBlockSize;
+
 }  // namespace
 
 std::vector<geom::GridPoint> quantize(const std::vector<geom::Point2>& pts,
                                       size_t* duplicates_dropped) {
   double minx = 0, maxx = 1, miny = 0, maxy = 1;
   if (!pts.empty()) {
+    // Blocked parallel min/max reduction (partials live in symmetric
+    // memory: uncounted, like the serial pass it replaces).
+    size_t n = pts.size();
+    size_t nb = (n + kBlock - 1) / kBlock;
+    std::vector<std::array<double, 4>> partial(nb);
+    parallel::parallel_for(
+        0, nb,
+        [&](size_t b) {
+          size_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+          std::array<double, 4> acc = {pts[lo][0], pts[lo][0], pts[lo][1],
+                                       pts[lo][1]};
+          for (size_t i = lo + 1; i < hi; ++i) {
+            acc[0] = std::min(acc[0], pts[i][0]);
+            acc[1] = std::max(acc[1], pts[i][0]);
+            acc[2] = std::min(acc[2], pts[i][1]);
+            acc[3] = std::max(acc[3], pts[i][1]);
+          }
+          partial[b] = acc;
+        },
+        1);
     minx = maxx = pts[0][0];
     miny = maxy = pts[0][1];
-    for (const auto& p : pts) {
-      minx = std::min(minx, p[0]);
-      maxx = std::max(maxx, p[0]);
-      miny = std::min(miny, p[1]);
-      maxy = std::max(maxy, p[1]);
+    for (const auto& acc : partial) {
+      minx = std::min(minx, acc[0]);
+      maxx = std::max(maxx, acc[1]);
+      miny = std::min(miny, acc[2]);
+      maxy = std::max(maxy, acc[3]);
     }
   }
   double sx = (maxx > minx) ? (static_cast<double>(kGrid - 1) / (maxx - minx))
@@ -93,12 +123,11 @@ std::unique_ptr<Mesh> triangulate(const std::vector<geom::GridPoint>& pts,
   std::atomic<size_t> retries{0};
 
   for (auto [blo, bhi] : batches) {
-    std::vector<uint32_t> active;
-    active.reserve(bhi - blo);
-    for (size_t i = blo; i < bhi; ++i) {
-      active.push_back(static_cast<uint32_t>(i));
+    std::vector<uint32_t> active(bhi - blo);
+    parallel::parallel_for(blo, bhi, [&](size_t i) {
+      active[i - blo] = static_cast<uint32_t>(i);
       state[i].seed = mesh->root();
-    }
+    });
     size_t inserted_in_batch = 0;
     while (!active.empty()) {
       ++local.sub_rounds;
@@ -199,17 +228,41 @@ std::unique_ptr<Mesh> triangulate(const std::vector<geom::GridPoint>& pts,
           }
         }
       });
-      std::vector<uint32_t> next;
-      next.reserve(active.size());
-      for (size_t i = 0; i < attempt; ++i) {
-        if (!done[i]) {
-          next.push_back(active[i]);
-        } else {
-          ++inserted_in_batch;
-        }
+      // Compact the round's survivors with a blocked stable pack (pure
+      // bookkeeping over symmetric-memory scratch: uncounted, like the
+      // serial loop it replaces).
+      size_t nb = (attempt + kBlock - 1) / kBlock;
+      std::vector<size_t> offs(nb, 0);
+      parallel::parallel_for(
+          0, nb,
+          [&](size_t b) {
+            size_t lo = b * kBlock, hi = std::min(attempt, lo + kBlock);
+            size_t c = 0;
+            for (size_t i = lo; i < hi; ++i) c += done[i] ? 0 : 1;
+            offs[b] = c;
+          },
+          1);
+      size_t kept = 0;
+      for (size_t b = 0; b < nb; ++b) {
+        size_t c = offs[b];
+        offs[b] = kept;
+        kept += c;
       }
-      next.insert(next.end(), active.begin() + static_cast<long>(attempt),
-                  active.end());
+      std::vector<uint32_t> next(kept + (active.size() - attempt));
+      parallel::parallel_for(
+          0, nb,
+          [&](size_t b) {
+            size_t lo = b * kBlock, hi = std::min(attempt, lo + kBlock);
+            size_t pos = offs[b];
+            for (size_t i = lo; i < hi; ++i) {
+              if (!done[i]) next[pos++] = active[i];
+            }
+          },
+          1);
+      parallel::parallel_for(attempt, active.size(), [&](size_t i) {
+        next[kept + (i - attempt)] = active[i];
+      });
+      inserted_in_batch += attempt - kept;
       active.swap(next);
     }
   }

@@ -29,7 +29,8 @@ inline constexpr uint32_t kNoTri = UINT32_MAX;
 
 struct Triangle {
   uint32_t v[3] = {0, 0, 0};        // CCW vertex ids
-  uint32_t nbr[3] = {kNoTri, kNoTri, kNoTri};  // nbr[i] across edge (v[i], v[i+1])
+  // nbr[i] across edge (v[i], v[i+1])
+  uint32_t nbr[3] = {kNoTri, kNoTri, kNoTri};
   std::atomic<uint32_t> reserve{UINT32_MAX};   // priority-write reservation
   std::atomic<bool> alive{false};
   std::vector<uint32_t> children;   // history successors (set at death)

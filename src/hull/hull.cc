@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/parallel/parallel_for.h"
 #include "src/primitives/sort.h"
 #include "src/sort/incremental_sort.h"
 
@@ -14,6 +15,33 @@ double cross(const geom::Point2& o, const geom::Point2& a,
   return (a[0] - o[0]) * (b[1] - o[1]) - (a[1] - o[1]) * (b[0] - o[0]);
 }
 
+// Monotone-chain scan over an index iterator range, appending to `chain`
+// starting at its current size. Each point costs one read and (if pushed)
+// one write; each point is popped at most once, so the scan is O(n) reads
+// and writes.
+template <typename It>
+void chain_scan(const std::vector<geom::Point2>& pts, It begin, It end,
+                std::vector<uint32_t>& chain) {
+  size_t start = chain.size();
+  for (It it = begin; it != end; ++it) {
+    uint32_t idx = *it;
+    asym::count_read();
+    while (chain.size() >= start + 2 &&
+           cross(pts[chain[chain.size() - 2]], pts[chain.back()],
+                 pts[idx]) <= 0) {
+      chain.pop_back();
+    }
+    asym::count_write();
+    chain.push_back(idx);
+  }
+}
+
+// Block size of the parallel filter. Fixed (never a function of the worker
+// count) so the asym read/write totals are bit-identical at every
+// WEG_NUM_THREADS — the decomposition, and hence every counted access, is a
+// function of n alone.
+constexpr size_t kBlock = parallel::kSeqCutoff;
+
 }  // namespace
 
 std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
@@ -23,23 +51,43 @@ std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
   std::vector<uint32_t> order;
   if (mode == SortMode::kWriteEfficient) {
     std::vector<uint64_t> keys(n);
-    for (size_t i = 0; i < n; ++i) keys[i] = sort::double_to_sortable(pts[i][0]);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = sort::double_to_sortable(pts[i][0]);
+    }
     asym::count_read(n);
     order = sort::incremental_sort_we_order(keys);
     // The chain needs (x, y)-lexicographic order; fix equal-x runs locally.
-    size_t i = 0;
-    while (i < order.size()) {
-      size_t j = i + 1;
+    // Two phases so no iteration writes `order` while another reads it: a
+    // read-only parallel pass marks run starts, then the multi-element runs
+    // are sorted in parallel over disjoint spans. The marking pass charges
+    // one read per element — it really inspects every element — where the
+    // old serial loop charged one read per *run*; the golden counts were
+    // recaptured for this deliberate accounting change.
+    std::vector<uint8_t> run_start(n);
+    parallel::parallel_for(0, n, [&](size_t i) {
       asym::count_read();
-      while (j < order.size() && pts[order[j]][0] == pts[order[i]][0]) ++j;
-      if (j - i > 1) {
-        std::sort(order.begin() + static_cast<long>(i),
-                  order.begin() + static_cast<long>(j),
-                  [&](uint32_t a, uint32_t b) { return pts[a][1] < pts[b][1]; });
-        asym::count_write(j - i);
+      run_start[i] = i == 0 || pts[order[i]][0] != pts[order[i - 1]][0];
+    });
+    std::vector<std::pair<size_t, size_t>> runs;  // equal-x runs of length > 1
+    size_t run_lo = 0;
+    for (size_t i = 1; i <= n; ++i) {
+      if (i == n || run_start[i]) {
+        if (i - run_lo > 1) runs.emplace_back(run_lo, i);
+        run_lo = i;
       }
-      i = j;
     }
+    parallel::parallel_for(
+        0, runs.size(),
+        [&](size_t r) {
+          auto [lo, hi] = runs[r];
+          std::sort(order.begin() + static_cast<long>(lo),
+                    order.begin() + static_cast<long>(hi),
+                    [&](uint32_t a, uint32_t b) {
+                      return pts[a][1] < pts[b][1];
+                    });
+          asym::count_write(hi - lo);
+        },
+        1);
   } else {
     order.resize(n);
     for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
@@ -49,27 +97,50 @@ std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
              (pts[a][0] == pts[b][0] && pts[a][1] < pts[b][1]);
     });
   }
-  // Andrew's monotone chain (Graham scan over the sorted order): each point
-  // is pushed once and popped at most once — O(n) reads and writes.
+  // Andrew's monotone chain over the sorted order. Above 2*kBlock points the
+  // scan runs as a parallel filter: the order is cut into fixed-size blocks,
+  // each block's lower/upper chains are built concurrently (a global chain
+  // vertex is always a vertex of its block's chain), and the final serial
+  // scan only touches the surviving candidates — O(n) work split across
+  // blocks with an O(candidates) sequential tail.
   std::vector<uint32_t> hull;
-  if (n >= 2) {
-    auto build_chain = [&](auto begin, auto end) {
-      size_t start = hull.size();
-      for (auto it = begin; it != end; ++it) {
-        uint32_t idx = *it;
-        asym::count_read();
-        while (hull.size() >= start + 2 &&
-               cross(pts[hull[hull.size() - 2]], pts[hull.back()],
-                     pts[idx]) <= 0) {
-          hull.pop_back();
-        }
-        asym::count_write();
-        hull.push_back(idx);
-      }
-    };
-    build_chain(order.begin(), order.end());
+  size_t candidates = n;
+  if (n >= 2 * kBlock) {
+    size_t nb = (n + kBlock - 1) / kBlock;
+    std::vector<std::vector<uint32_t>> lower(nb), upper(nb);
+    parallel::parallel_for(
+        0, nb,
+        [&](size_t b) {
+          size_t lo = b * kBlock, hi = std::min(n, lo + kBlock);
+          chain_scan(pts, order.begin() + static_cast<long>(lo),
+                     order.begin() + static_cast<long>(hi), lower[b]);
+          chain_scan(pts,
+                     std::make_reverse_iterator(order.begin() +
+                                                static_cast<long>(hi)),
+                     std::make_reverse_iterator(order.begin() +
+                                                static_cast<long>(lo)),
+                     upper[b]);
+        },
+        1);
+    // Concatenated block chains are globally x-ascending (lower) and
+    // x-descending (upper), so one scan over each candidate sequence yields
+    // the global chains.
+    std::vector<uint32_t> cand_lo, cand_hi;
+    for (size_t b = 0; b < nb; ++b) {
+      cand_lo.insert(cand_lo.end(), lower[b].begin(), lower[b].end());
+    }
+    for (size_t b = nb; b-- > 0;) {
+      cand_hi.insert(cand_hi.end(), upper[b].begin(), upper[b].end());
+    }
+    candidates = cand_lo.size() + cand_hi.size();
+    chain_scan(pts, cand_lo.begin(), cand_lo.end(), hull);
     hull.pop_back();  // last point repeats as the start of the upper chain
-    build_chain(order.rbegin(), order.rend());
+    chain_scan(pts, cand_hi.begin(), cand_hi.end(), hull);
+    hull.pop_back();
+  } else if (n >= 2) {
+    chain_scan(pts, order.begin(), order.end(), hull);
+    hull.pop_back();
+    chain_scan(pts, order.rbegin(), order.rend(), hull);
     hull.pop_back();
   } else {
     hull = order;
@@ -77,6 +148,7 @@ std::vector<uint32_t> convex_hull(const std::vector<geom::Point2>& pts,
   if (stats) {
     stats->cost = region.delta();
     stats->hull_size = hull.size();
+    stats->candidates = candidates;
   }
   return hull;
 }

@@ -3,6 +3,13 @@
 // O(n log n + ωn) work — O(n) writes — versus Θ(n log n) writes when the
 // sort is a standard mergesort (the classic baseline). The scan itself is
 // O(n) reads and writes (each point is pushed/popped at most once).
+//
+// Above a fixed block threshold the scan runs as a parallel filter on the
+// work-stealing scheduler: the sorted order is cut into fixed-size blocks,
+// each block's monotone chains are built concurrently (every global chain
+// vertex is a vertex of its block's chain), and a short serial scan over the
+// surviving candidates finishes the hull. The decomposition depends only on
+// n, so the asym read/write totals are identical at every worker count.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +25,9 @@ enum class SortMode { kClassic, kWriteEfficient };
 struct HullStats {
   asym::Counts cost;
   size_t hull_size = 0;
+  // Points surviving the per-block chain filter (== n when the input is too
+  // small for the parallel path and the scan runs in one piece).
+  size_t candidates = 0;
 };
 
 // Returns the indices of the convex hull vertices in counterclockwise

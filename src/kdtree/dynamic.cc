@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/parallel/par_build.h"
 #include "src/primitives/random.h"
 
 namespace weg::kdtree {
@@ -54,6 +55,37 @@ void LogForest<K>::insert(const Point& p) {
   dst.dead = 0;
   dst.used = true;
   ++live_;
+}
+
+template <int K>
+void LogForest<K>::bulk_insert(const std::vector<Point>& points) {
+  if (points.empty()) return;
+  std::vector<Point> pts = points;
+  asym::count_write(pts.size());
+  // Absorb the occupied prefix (as a chain of single inserts would) plus any
+  // occupied level whose nominal capacity 2^lvl is below the batch size, so
+  // the merged tree lands at a level that can hold it.
+  size_t lvl = 0;
+  while ((lvl < levels_.size() && levels_[lvl].used) ||
+         (size_t{1} << lvl) < pts.size()) {
+    if (lvl < levels_.size() && levels_[lvl].used) {
+      Level& L = levels_[lvl];
+      asym::count_read(L.tree.size());
+      for (size_t i = 0; i < L.tree.size(); ++i) {
+        if (L.alive[i]) pts.push_back(L.tree.points()[i]);
+      }
+      dead_ -= L.dead;
+      L = Level{};
+    }
+    ++lvl;
+  }
+  if (lvl >= levels_.size()) levels_.resize(lvl + 1);
+  Level& dst = levels_[lvl];
+  dst.tree = build(std::move(pts));
+  dst.alive.assign(dst.tree.size(), 1);
+  dst.dead = 0;
+  dst.used = true;
+  live_ += points.size();
 }
 
 template <int K>
@@ -138,7 +170,9 @@ std::vector<typename LogForest<K>::Point> LogForest<K>::range_report(
     } else {
       const auto& tree_pts = L.tree.points();
       for (size_t i = 0; i < tree_pts.size(); ++i) {
-        if (L.alive[i] && query.contains(tree_pts[i])) out.push_back(tree_pts[i]);
+        if (L.alive[i] && query.contains(tree_pts[i])) {
+          out.push_back(tree_pts[i]);
+        }
       }
     }
   }
@@ -248,7 +282,22 @@ void DynamicKdTree<K>::collect_alive(uint32_t v,
 template <int K>
 uint32_t DynamicKdTree<K>::rebuild_subtree(std::vector<Point>& pts, size_t lo,
                                            size_t hi, int depth) {
-  uint32_t id = alloc_node();
+  // Pre-claim every slot of the reconstruction (exact: the median-split
+  // recursion's node count is a function of the point count alone), so the
+  // recursion below never touches pool_'s allocator and sibling subtrees can
+  // fork. Slot assignment is deterministic at every worker count.
+  std::vector<uint32_t> ids = parallel::claim_build_slots(
+      pool_, free_list_, classic_node_count(hi - lo, leaf_size_));
+  return rebuild_subtree_ids(pts, lo, hi, depth, ids.data());
+}
+
+template <int K>
+uint32_t DynamicKdTree<K>::rebuild_subtree_ids(std::vector<Point>& pts,
+                                               size_t lo, size_t hi, int depth,
+                                               const uint32_t* ids) {
+  // Pre-order slice: ids[0] is this node, the left subtree's slice follows,
+  // then the right's (offset by the left's size-determined node count).
+  uint32_t id = ids[0];
   Node& nd_init = pool_[id];
   nd_init.depth = depth;
   size_t m = hi - lo;
@@ -270,8 +319,13 @@ uint32_t DynamicKdTree<K>::rebuild_subtree(std::vector<Point>& pts, size_t lo,
       [dim](const Point& a, const Point& b) { return a[dim] < b[dim]; });
   pool_[id].dim = dim;
   pool_[id].split = pts[mid][dim];
-  uint32_t l = rebuild_subtree(pts, lo, mid, depth + 1);
-  uint32_t r = rebuild_subtree(pts, mid, hi, depth + 1);
+  const uint32_t* lids = ids + 1;
+  const uint32_t* rids = lids + classic_node_count(m / 2, leaf_size_);
+  uint32_t l = kNullNode, r = kNullNode;
+  parallel::par_do_if(
+      m > parallel::kSeqCutoff,
+      [&] { l = rebuild_subtree_ids(pts, lo, mid, depth + 1, lids); },
+      [&] { r = rebuild_subtree_ids(pts, mid, hi, depth + 1, rids); });
   pool_[id].left = l;
   pool_[id].right = r;
   return id;

@@ -43,6 +43,11 @@ class LogForest {
       : mode_(mode), leaf_size_(leaf_size) {}
 
   void insert(const Point& p);
+  // Batched insertion: gathers the carry chain once for the whole batch and
+  // performs a single (parallel, p-batched when large) rebuild at the first
+  // level that both clears the occupied prefix and is large enough for the
+  // batch — one tree build instead of up to |pts| carry-chain merges.
+  void bulk_insert(const std::vector<Point>& pts);
   // Removes one point equal to p; returns false if absent.
   bool erase(const Point& p);
 
@@ -119,8 +124,14 @@ class DynamicKdTree {
   uint32_t alloc_node();
   void free_subtree(uint32_t v);
   void collect_alive(uint32_t v, std::vector<Point>& out) const;
+  // Reconstruction entry point: pre-claims the exact (size-determined) node
+  // count through parallel::claim_build_slots, then recurses over id slices
+  // so sibling subtrees fork on the scheduler without touching the shared
+  // allocator.
   uint32_t rebuild_subtree(std::vector<Point>& pts, size_t lo, size_t hi,
                            int depth);
+  uint32_t rebuild_subtree_ids(std::vector<Point>& pts, size_t lo, size_t hi,
+                               int depth, const uint32_t* ids);
   void maybe_rebalance(const std::vector<uint32_t>& path);
 
   Mode mode_;

@@ -14,21 +14,64 @@ namespace {
 constexpr size_t kSeqCutoff = parallel::kSeqCutoff;
 }
 
+size_t classic_node_count(size_t m, size_t leaf_size) {
+  if (m <= leaf_size) return 1;
+  // At recursion depth d every subtree holds floor(m/2^d) or that plus one
+  // points, so a level is two (size, multiplicity) pairs. Walk levels until
+  // both sizes fit a leaf, accumulating interior nodes; remaining pairs are
+  // leaves.
+  size_t total = 0;
+  // sizes[0] = smaller size, sizes[1] = sizes[0] + 1 (multiplicity 0 if
+  // absent).
+  size_t size = m;
+  uint64_t cnt_lo = 1, cnt_hi = 0;  // multiplicities of `size` and `size + 1`
+  while (size > leaf_size || (cnt_hi > 0 && size + 1 > leaf_size)) {
+    // Split every subtree still above the leaf threshold; subtrees already
+    // at or below it become leaves now.
+    uint64_t leaves_lo = size <= leaf_size ? cnt_lo : 0;
+    uint64_t leaves_hi = (size + 1) <= leaf_size ? cnt_hi : 0;
+    total += leaves_lo + leaves_hi;
+    uint64_t split_lo = cnt_lo - leaves_lo;  // subtrees of `size` that split
+    uint64_t split_hi = cnt_hi - leaves_hi;  // subtrees of `size+1` that split
+    total += split_lo + split_hi;  // one interior node per split
+    // size -> floor(size/2) + ceil(size/2); size+1 likewise.
+    uint64_t nlo, nhi;
+    size_t nsize;
+    if (size % 2 == 0) {
+      // size: {size/2, size/2}; size+1: {size/2, size/2 + 1}
+      nsize = size / 2;
+      nlo = 2 * split_lo + split_hi;
+      nhi = split_hi;
+    } else {
+      // size: {size/2, size/2 + 1}; size+1: {size/2 + 1, size/2 + 1}
+      nsize = size / 2;
+      nlo = split_lo;
+      nhi = split_lo + 2 * split_hi;
+    }
+    size = nsize;
+    cnt_lo = nlo;
+    cnt_hi = nhi;
+    if (cnt_lo == 0) {  // renormalize so `size` always has multiplicity
+      size += 1;
+      cnt_lo = cnt_hi;
+      cnt_hi = 0;
+    }
+    if (cnt_lo == 0 && cnt_hi == 0) break;
+  }
+  total += cnt_lo + cnt_hi;  // all remaining subtrees are leaves
+  return total;
+}
+
 template <int K>
 uint32_t KdTree<K>::build_recursive(size_t lo, size_t hi, int depth,
                                     size_t leaf_size, bool charge,
-                                    std::atomic<uint32_t>* alloc) {
-  assert(hi > lo);
-  uint32_t id;
-  if (alloc) {
-    id = alloc->fetch_add(1, std::memory_order_relaxed);
-  } else {
-    id = static_cast<uint32_t>(nodes_.size());
-    nodes_.push_back(Node{});
-  }
+                                    uint32_t id_base) {
+  assert(hi >= lo);
+  uint32_t id = id_base;
   size_t m = hi - lo;
   if (m <= leaf_size) {
     if (charge) asym::count_write(m);  // write out the leaf contents
+    nodes_[id] = Node{};
     nodes_[id].begin = static_cast<uint32_t>(lo);
     nodes_[id].end = static_cast<uint32_t>(hi);
     return id;
@@ -46,17 +89,23 @@ uint32_t KdTree<K>::build_recursive(size_t lo, size_t hi, int depth,
                    [dim](const Point& a, const Point& b) {
                      return a[dim] < b[dim];
                    });
+  nodes_[id] = Node{};
   nodes_[id].dim = dim;
   nodes_[id].split = points_[mid][dim];
+  // Pre-order slice layout: left subtree right after this node, right
+  // subtree after the left's (size-determined) slice.
+  uint32_t lbase = id_base + 1;
+  uint32_t rbase =
+      lbase + static_cast<uint32_t>(classic_node_count(m / 2, leaf_size));
   uint32_t l, r;
-  if (alloc && m > kSeqCutoff) {
-    parallel::par_do(
-        [&] { l = build_recursive(lo, mid, depth + 1, leaf_size, charge, alloc); },
-        [&] { r = build_recursive(mid, hi, depth + 1, leaf_size, charge, alloc); });
-  } else {
-    l = build_recursive(lo, mid, depth + 1, leaf_size, charge, alloc);
-    r = build_recursive(mid, hi, depth + 1, leaf_size, charge, alloc);
-  }
+  parallel::par_do_if(
+      m > kSeqCutoff,
+      [&] {
+        l = build_recursive(lo, mid, depth + 1, leaf_size, charge, lbase);
+      },
+      [&] {
+        r = build_recursive(mid, hi, depth + 1, leaf_size, charge, rbase);
+      });
   nodes_[id].left = l;
   nodes_[id].right = r;
   return id;
@@ -70,14 +119,10 @@ KdTree<K> KdTree<K>::build_classic(std::vector<Point> points,
   t.leaf_size_ = leaf_size;
   t.points_ = std::move(points);
   if (!t.points_.empty()) {
-    // Pre-size the node pool so subtree builds can allocate ids from an
-    // atomic counter and fork in parallel.
-    size_t bound = 4 * t.points_.size() / std::max<size_t>(1, leaf_size) + 64;
-    t.nodes_.resize(bound);
-    std::atomic<uint32_t> alloc{0};
-    t.root_ = t.build_recursive(0, t.points_.size(), 0, leaf_size, true,
-                                &alloc);
-    t.nodes_.resize(alloc.load());
+    // The node count is a function of (n, leaf_size) alone, so the pool is
+    // sized exactly and the build forks over pre-claimed id slices.
+    t.nodes_.resize(classic_node_count(t.points_.size(), leaf_size));
+    t.root_ = t.build_recursive(0, t.points_.size(), 0, leaf_size, true, 0);
   }
   if (stats) {
     stats->cost = region.delta();

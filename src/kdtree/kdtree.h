@@ -37,6 +37,15 @@ struct QueryStats {
 
 inline constexpr uint32_t kNullNode = UINT32_MAX;
 
+// Exact node count of the classic median-split recursion over m points
+// (count(m) = 1 for m <= leaf_size, else 1 + count(floor(m/2)) +
+// count(ceil(m/2)); an empty range still makes one leaf node). Splits are at
+// the exact median, so the count is a function of (m, leaf_size) alone —
+// this is what lets the parallel builds pre-claim deterministic id slices
+// instead of drawing from a scheduling-dependent atomic allocator. O(log m):
+// subtree sizes at each recursion depth take at most two distinct values.
+size_t classic_node_count(size_t m, size_t leaf_size);
+
 template <int K>
 class KdTree {
  public:
@@ -100,12 +109,13 @@ class KdTree {
   // Builds a subtree over points_[lo, hi) (reordering in place) and returns
   // its node index. `charge` toggles asym counting (the p-batched finishing
   // step builds small subtrees inside the symmetric memory and charges only
-  // the O(p) input reads / output writes itself). If `alloc` is non-null,
-  // node ids are taken from it (nodes_ must be pre-sized) and large subtrees
-  // fork in parallel; otherwise nodes are appended sequentially.
+  // the O(p) input reads / output writes itself). The subtree occupies the
+  // pre-claimed slice nodes_[id_base, id_base + classic_node_count(hi - lo))
+  // in pre-order (nodes_ must be pre-sized); sibling slices are disjoint, so
+  // subtrees above the sequential cutoff fork on the scheduler and node ids
+  // are identical at every worker count.
   uint32_t build_recursive(size_t lo, size_t hi, int depth, size_t leaf_size,
-                           bool charge,
-                           std::atomic<uint32_t>* alloc = nullptr);
+                           bool charge, uint32_t id_base);
 
  private:
   void range_rec(uint32_t node, const Box& region, const Box& query,

@@ -80,7 +80,9 @@ struct Builder {
     // boxes, minimize SA(L)*|L| + SA(R)*|R|.
     std::sort(pts.begin() + static_cast<long>(lo),
               pts.begin() + static_cast<long>(hi),
-              [dim](const Point& a, const Point& b) { return a[dim] < b[dim]; });
+              [dim](const Point& a, const Point& b) {
+                return a[dim] < b[dim];
+              });
     auto half_area = [](const geom::BoxK<K>& b) {
       // Sum of pairwise extent products (surface area up to a constant).
       double sa = 0;
@@ -122,7 +124,11 @@ struct Builder {
 
   // Splits points[lo, hi) recursively until every piece is <= p, buffering
   // the pieces in fresh leaves. Used for both the initial round and settles.
-  // Charges one read + one write per point per split level.
+  // Charges one read + one write per point per split level. Sibling pieces
+  // are disjoint subranges writing disjoint pool slots, so subtrees above
+  // the sequential cutoff fork on the scheduler (ids come from the atomic
+  // allocator — scheduling-dependent, which is why the rounds key points on
+  // DFS leaf ranks rather than on ids).
   uint32_t split_down(std::vector<Point>& pts, size_t lo, size_t hi,
                       int depth) {
     uint32_t id = new_node();
@@ -139,9 +145,12 @@ struct Builder {
     auto [dim, mid] = choose_split(pts, lo, hi, depth);
     pool[id].dim = dim;
     pool[id].split = pts[mid][dim];
-    uint32_t l = split_down(pts, lo, mid, depth + 1);
-    uint32_t r = split_down(pts, mid, hi, depth + 1);
-    pool[id].left = l;  // re-index: recursion may have touched the pool
+    uint32_t l = kNullNode, r = kNullNode;
+    parallel::par_do_if(
+        m > parallel::kSeqCutoff,
+        [&] { l = split_down(pts, lo, mid, depth + 1); },
+        [&] { r = split_down(pts, mid, hi, depth + 1); });
+    pool[id].left = l;  // pool is pre-sized: slots never move
     pool[id].right = r;
     return id;
   }
@@ -156,7 +165,8 @@ struct Builder {
     settles.fetch_add(1, std::memory_order_relaxed);
     size_t cur = max_settle_buffer.load(std::memory_order_relaxed);
     while (pts.size() > cur && !max_settle_buffer.compare_exchange_weak(
-                                   cur, pts.size(), std::memory_order_relaxed)) {
+                                   cur, pts.size(),
+                                   std::memory_order_relaxed)) {
     }
     size_t m = pts.size();
     asym::count_read(m);
@@ -173,8 +183,14 @@ struct Builder {
     pool[r].buffer.assign(pts.begin() + static_cast<long>(mid), pts.end());
     pool[leaf].left = l;
     pool[leaf].right = r;
-    if (pool[l].buffer.size() > p) settle(l);
-    if (pool[r].buffer.size() > p) settle(r);
+    parallel::par_do_if(
+        pool[l].buffer.size() + pool[r].buffer.size() > parallel::kSeqCutoff,
+        [&] {
+          if (pool[l].buffer.size() > p) settle(l);
+        },
+        [&] {
+          if (pool[r].buffer.size() > p) settle(r);
+        });
   }
 
   // Descends the current splits to the leaf containing pt (reads only).
@@ -230,9 +246,33 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
   // Incremental rounds (Figure 2).
   for (size_t r = 1; r < rounds.size(); ++r) {
     auto [lo, hi] = rounds[r];
+    // BNode ids are handed out by the atomic allocator, so they depend on
+    // how settles were scheduled. The tree *structure* is deterministic, so
+    // an in-order DFS rank per leaf restores a worker-count-independent key:
+    // the semisorted group order — and with it every buffer's contents,
+    // every settle, and every counted access — is a function of the input
+    // alone. Bookkeeping over the O(n/p) skeleton: uncounted.
+    std::vector<uint32_t> leaf_rank(b.alloc.load(std::memory_order_relaxed),
+                                    kNullNode);
+    {
+      uint32_t next = 0;
+      std::vector<uint32_t> stack{b.root};
+      while (!stack.empty()) {
+        uint32_t v = stack.back();
+        stack.pop_back();
+        const BNode<K>& nd = b.pool[v];
+        if (nd.is_leaf()) {
+          leaf_rank[v] = next++;
+        } else {
+          stack.push_back(nd.right);
+          stack.push_back(nd.left);
+        }
+      }
+    }
     struct Located {
-      uint64_t leaf;
-      uint32_t idx;  // index into `points`
+      uint32_t rank;  // DFS rank of the leaf (the deterministic sort key)
+      uint32_t leaf;  // BNode id of the leaf
+      uint32_t idx;   // index into `points`
     };
     std::vector<Located> located(hi - lo);
     // (a) locate leaves: reads only plus one bookkeeping write per point.
@@ -240,17 +280,18 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
       asym::count_read();  // fetch the point
       uint32_t leaf = b.locate(points[i]);
       asym::count_write();
-      located[i - lo] = Located{leaf, static_cast<uint32_t>(i)};
+      located[i - lo] =
+          Located{leaf_rank[leaf], leaf, static_cast<uint32_t>(i)};
     });
-    // (b) semisort by leaf.
+    // (b) semisort by leaf rank.
     auto groups = primitives::semisort_by(
-        located, [](const Located& l) { return l.leaf; });
+        located, [](const Located& l) { return l.rank; });
     // (c) append each group to its leaf buffer; settle overflows.
     parallel::parallel_for(
         0, groups.size() - 1,
         [&](size_t g) {
           size_t glo = groups[g], ghi = groups[g + 1];
-          uint32_t leaf = static_cast<uint32_t>(located[glo].leaf);
+          uint32_t leaf = located[glo].leaf;
           auto& buf = b.pool[leaf].buffer;
           asym::count_write(ghi - glo);
           buf.reserve(buf.size() + (ghi - glo));
@@ -302,11 +343,10 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
 
   // Compact structure: interior BNodes map 1:1; leaf BNodes become finished
   // subtrees built in small-memory (uncharged internal shuffles, one write
-  // per created node charged below).
-  size_t node_bound = num_bnodes + 4 * n / std::max<size_t>(1, leaf_size) + 64;
-  t.nodes_.resize(node_bound);
-  std::atomic<uint32_t> node_alloc{0};
-  // Map construction interior nodes first (sequential DFS, cheap: O(n/p)).
+  // per created node charged below). Interior compact ids come from a
+  // sequential DFS and every leaf subtree gets a pre-claimed id slice of its
+  // exact (size-determined) node count, so compact node ids are identical at
+  // every worker count — no atomic allocator anywhere in the finish.
   std::vector<uint32_t> compact_id(num_bnodes, kNullNode);
   struct LeafTask {
     uint32_t bnode;
@@ -314,6 +354,7 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
     int depth;
   };
   std::vector<LeafTask> leaf_tasks;
+  uint32_t interior_count = 0;
   {
     size_t leaf_i = 0;
     std::vector<uint32_t> stack{b.root};
@@ -324,43 +365,47 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
       if (nd.is_leaf()) {
         auto [lv, off] = leaf_offsets[leaf_i++];
         assert(lv == v);
-        leaf_tasks.push_back(LeafTask{v, off, off + nd.buffer.size(), nd.depth});
+        leaf_tasks.push_back(
+            LeafTask{v, off, off + nd.buffer.size(), nd.depth});
         continue;
       }
-      compact_id[v] = node_alloc.fetch_add(1);
+      compact_id[v] = interior_count++;
       stack.push_back(nd.right);
       stack.push_back(nd.left);
     }
   }
-  // Fill interior nodes and remember which compact slots need leaf subtrees.
+  // Slice layout: interiors first, then each leaf subtree's exact extent.
+  std::vector<size_t> slice_base(leaf_tasks.size() + 1);
+  slice_base[0] = interior_count;
+  for (size_t i = 0; i < leaf_tasks.size(); ++i) {
+    slice_base[i + 1] =
+        slice_base[i] +
+        classic_node_count(leaf_tasks[i].hi - leaf_tasks[i].lo, leaf_size);
+  }
+  t.nodes_.resize(slice_base.back());
+  // Fill interior nodes (children patched below: leaf children need built
+  // subtrees first).
   for (uint32_t v = 0; v < num_bnodes; ++v) {
     if (compact_id[v] == kNullNode) continue;
     const BNode<K>& nd = b.pool[v];
     auto& cn = t.nodes_[compact_id[v]];
     cn.dim = nd.dim;
     cn.split = nd.split;
-    // children patched below (leaf children need built subtrees first)
   }
-  // Build leaf subtrees in parallel, then patch parents.
+  // Build leaf subtrees in parallel over their pre-claimed slices, then
+  // patch parents. An empty buffer (only the root of an empty round set)
+  // becomes an empty leaf node via the m == 0 base case.
   std::vector<uint32_t> leaf_root(num_bnodes, kNullNode);
-  uint32_t before_leaf_nodes = node_alloc.load();
   parallel::parallel_for(
       0, leaf_tasks.size(),
       [&](size_t i) {
         const LeafTask& lt = leaf_tasks[i];
-        if (lt.hi == lt.lo) {
-          // Empty buffer (can only be the root of an empty round set); give
-          // it an empty leaf node.
-          uint32_t id = node_alloc.fetch_add(1);
-          t.nodes_[id].begin = t.nodes_[id].end = static_cast<uint32_t>(lt.lo);
-          leaf_root[lt.bnode] = id;
-          return;
-        }
-        leaf_root[lt.bnode] = t.build_recursive(lt.lo, lt.hi, lt.depth,
-                                                leaf_size, false, &node_alloc);
+        leaf_root[lt.bnode] =
+            t.build_recursive(lt.lo, lt.hi, lt.depth, leaf_size, false,
+                              static_cast<uint32_t>(slice_base[i]));
       },
       1);
-  asym::count_write(node_alloc.load() - before_leaf_nodes);  // created nodes
+  asym::count_write(t.nodes_.size() - interior_count);  // created nodes
   for (uint32_t v = 0; v < num_bnodes; ++v) {
     if (compact_id[v] == kNullNode) continue;
     const BNode<K>& nd = b.pool[v];
@@ -370,7 +415,6 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
     t.nodes_[compact_id[v]].left = child(nd.left);
     t.nodes_[compact_id[v]].right = child(nd.right);
   }
-  t.nodes_.resize(node_alloc.load());
   t.root_ = b.pool[b.root].is_leaf() ? leaf_root[b.root] : compact_id[b.root];
 
   if (stats) {

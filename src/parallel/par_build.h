@@ -1,8 +1,11 @@
-// Shared helpers for the parallel (re)construction paths of the pool-backed
-// dynamic trees. The pattern: claim every node slot up front (drain the free
-// list, then append fresh slots) so the build recursion never touches the
-// shared allocator, then recurse over id slices — sibling subtrees write
-// disjoint pool entries and can fork freely.
+// Shared helpers for parallel (re)construction of pool-backed trees — used
+// by the augmented trees (src/augtree) and the geometry layer (src/kdtree).
+// The pattern: claim every node slot up front (drain the free list, then
+// append fresh slots) so the build recursion never touches the shared
+// allocator, then recurse over id slices — sibling subtrees write disjoint
+// pool entries and can fork freely, and slot assignment is identical at
+// every worker count (the counter-determinism invariant the equality tests
+// pin).
 #pragma once
 
 #include <algorithm>
@@ -12,7 +15,7 @@
 #include "src/asym/counters.h"
 #include "src/parallel/parallel_for.h"
 
-namespace weg::augtree {
+namespace weg::parallel {
 
 // Claims `n` node slots for a bulk build: free-list slots first (they were
 // reset to Node{} when freed), then freshly appended ones. Reusing the free
@@ -62,4 +65,4 @@ uint32_t balanced_build_ids(std::vector<Node>& pool,
   return v;
 }
 
-}  // namespace weg::augtree
+}  // namespace weg::parallel

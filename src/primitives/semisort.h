@@ -89,7 +89,8 @@ void radix_sort(std::vector<T>& records, uint64_t range, KeyFn key) {
     counting_sort(records, static_cast<size_t>(std::min<uint64_t>(
                                kDigit, (range >> shift) + 1)),
                   [&](const T& r) {
-                    return static_cast<size_t>((key(r) >> shift) & (kDigit - 1));
+                    return static_cast<size_t>((key(r) >> shift) &
+                                               (kDigit - 1));
                   });
   }
 }

@@ -58,7 +58,8 @@ void merge_sort_rec(T* a, T* buf, size_t lo, size_t hi, bool to_buf,
     // model's rate: the symmetric memory holds only O(log n) words, so a
     // faithful mergesort still writes each element once per level inside
     // this run.
-    uint64_t levels = static_cast<uint64_t>(std::bit_width(std::max<size_t>(n, 1) - 1));
+    uint64_t levels =
+        static_cast<uint64_t>(std::bit_width(std::max<size_t>(n, 1) - 1));
     asym::count_read(n * levels);
     asym::count_write(n * levels);
     std::sort(a + lo, a + hi, less);

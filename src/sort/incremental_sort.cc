@@ -165,8 +165,8 @@ size_t classic_rounds(Tree& tree, std::vector<uint32_t> elems) {
 
 }  // namespace
 
-std::vector<uint64_t> incremental_sort_classic(const std::vector<uint64_t>& keys,
-                                               SortStats* stats) {
+std::vector<uint64_t> incremental_sort_classic(
+    const std::vector<uint64_t>& keys, SortStats* stats) {
   asym::Region region;
   Tree tree(keys);
   std::vector<uint32_t> elems(keys.size());

@@ -40,8 +40,8 @@ struct SortStats {
 };
 
 // Algorithm 1, parallel rounds with priority-writes. Θ(n log n) writes.
-std::vector<uint64_t> incremental_sort_classic(const std::vector<uint64_t>& keys,
-                                               SortStats* stats = nullptr);
+std::vector<uint64_t> incremental_sort_classic(
+    const std::vector<uint64_t>& keys, SortStats* stats = nullptr);
 
 // Theorem 4.1: prefix doubling + DAG tracing + bucket finishing. O(n) writes,
 // O(n log n) reads in expectation. `cutoff` is the bucket finishing depth

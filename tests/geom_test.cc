@@ -28,9 +28,12 @@ TEST(Orient2D, SosNeverZero) {
   primitives::Rng rng(1);
   for (int t = 0; t < 2000; ++t) {
     // Many collinear triples (small grid).
-    GridPoint a = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 0);
-    GridPoint b = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 1);
-    GridPoint c = gp((int64_t)rng.next_bounded(4), (int64_t)rng.next_bounded(4), 2);
+    GridPoint a = gp((int64_t)rng.next_bounded(4),
+                     (int64_t)rng.next_bounded(4), 0);
+    GridPoint b = gp((int64_t)rng.next_bounded(4),
+                     (int64_t)rng.next_bounded(4), 1);
+    GridPoint c = gp((int64_t)rng.next_bounded(4),
+                     (int64_t)rng.next_bounded(4), 2);
     if ((a.x == b.x && a.y == b.y) || (a.x == c.x && a.y == c.y) ||
         (b.x == c.x && b.y == c.y)) {
       continue;  // coincident points are excluded by dedup upstream
@@ -42,9 +45,12 @@ TEST(Orient2D, SosNeverZero) {
 TEST(Orient2D, SosAgreesWithExactWhenNondegenerate) {
   primitives::Rng rng(2);
   for (int t = 0; t < 2000; ++t) {
-    GridPoint a = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 0);
-    GridPoint b = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 1);
-    GridPoint c = gp((int64_t)rng.next_bounded(1000), (int64_t)rng.next_bounded(1000), 2);
+    GridPoint a = gp((int64_t)rng.next_bounded(1000),
+                     (int64_t)rng.next_bounded(1000), 0);
+    GridPoint b = gp((int64_t)rng.next_bounded(1000),
+                     (int64_t)rng.next_bounded(1000), 1);
+    GridPoint c = gp((int64_t)rng.next_bounded(1000),
+                     (int64_t)rng.next_bounded(1000), 2);
     int ex = orient2d_exact(a, b, c);
     if (ex != 0) {
       EXPECT_EQ(orient2d_sos(a, b, c), ex);
@@ -56,9 +62,12 @@ TEST(Orient2D, SosPermutationParity) {
   // Swapping two arguments flips the sign — even for degenerate triples.
   primitives::Rng rng(3);
   for (int t = 0; t < 2000; ++t) {
-    GridPoint a = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 7);
-    GridPoint b = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 13);
-    GridPoint c = gp((int64_t)rng.next_bounded(5), (int64_t)rng.next_bounded(5), 29);
+    GridPoint a = gp((int64_t)rng.next_bounded(5),
+                     (int64_t)rng.next_bounded(5), 7);
+    GridPoint b = gp((int64_t)rng.next_bounded(5),
+                     (int64_t)rng.next_bounded(5), 13);
+    GridPoint c = gp((int64_t)rng.next_bounded(5),
+                     (int64_t)rng.next_bounded(5), 29);
     if ((a.x == b.x && a.y == b.y) || (a.x == c.x && a.y == c.y) ||
         (b.x == c.x && b.y == c.y)) {
       continue;

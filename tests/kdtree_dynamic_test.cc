@@ -42,7 +42,8 @@ void mixed_workload_test(Structure& s, uint64_t seed, size_t ops) {
       alive.erase(alive.begin() + long(i));
     } else {
       auto q = box(rng.next_double() * 0.7, rng.next_double() * 0.7,
-                   rng.next_double() * 0.3 + 0.7, rng.next_double() * 0.3 + 0.7);
+                   rng.next_double() * 0.3 + 0.7,
+                   rng.next_double() * 0.3 + 0.7);
       size_t brute = 0;
       for (auto& p : alive) brute += q.contains(p) ? 1 : 0;
       ASSERT_EQ(s.range_count(q), brute) << "op " << op;

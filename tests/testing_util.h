@@ -42,9 +42,10 @@ inline std::vector<augtree::PPoint> random_ppoints(size_t n, uint64_t seed,
   std::vector<augtree::PPoint> pts(n);
   for (size_t i = 0; i < n; ++i) {
     if (grid_cells > 0) {
-      pts[i] = augtree::PPoint{double(rng.next_bounded(grid_cells)) / grid_cells,
-                               double(rng.next_bounded(grid_cells)) / grid_cells,
-                               uint32_t(i)};
+      pts[i] =
+          augtree::PPoint{double(rng.next_bounded(grid_cells)) / grid_cells,
+                          double(rng.next_bounded(grid_cells)) / grid_cells,
+                          uint32_t(i)};
     } else {
       pts[i] =
           augtree::PPoint{rng.next_double(), rng.next_double(), uint32_t(i)};
