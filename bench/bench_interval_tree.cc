@@ -33,7 +33,7 @@ MixCost run_mix(uint64_t alpha, size_t n, size_t ops, double update_frac,
       out.updates = out.updates + r.delta();
     } else {
       asym::Region r;
-      k += t.stab_count_scan(rng.next_double());
+      k += t.stab_count(rng.next_double());
       out.queries = out.queries + r.delta();
     }
   }

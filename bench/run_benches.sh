@@ -10,8 +10,8 @@
 #
 # Usage:  bench/run_benches.sh [--filter <regex>] [build-dir]
 #   --filter <regex>  only run benches whose name matches (augtree, sort,
-#                     hull, delaunay, kdtree_dynamic); the other BENCH files
-#                     are left untouched.
+#                     hull, delaunay, kdtree_dynamic, query_throughput); the
+#                     other BENCH files are left untouched.
 #   build-dir         defaults to build/release
 #
 # Exits non-zero if any requested bench binary is missing (a silently
@@ -50,6 +50,7 @@ BENCHES=(
   "hull:bench_hull:yes"
   "delaunay:bench_delaunay:yes"
   "kdtree_dynamic:bench_kdtree_dynamic:yes"
+  "query_throughput:bench_query_throughput:yes"
 )
 
 selected=()

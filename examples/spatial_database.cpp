@@ -60,29 +60,50 @@ int main(int argc, char** argv) {
               n, (unsigned long long)ic.reads, (unsigned long long)ic.writes,
               double(ic.writes) / double(n));
 
-  // Query mix.
+  // Query mix, served through the batched query engine: each batch fans its
+  // queries out in parallel, and a count pass + exclusive scan pre-claims
+  // every query's slice of one flat output array, so each result is written
+  // exactly once (and totals are deterministic at any worker count).
   asym::Region queries;
+  std::vector<double> stab_times(100);
+  for (double& t : stab_times) t = rng.next_double() * 1000.0;
+  auto active = by_time.stab_count_batch(stab_times);
   size_t active_total = 0;
-  for (int q = 0; q < 100; ++q) {
-    active_total += by_time.stab_count_scan(rng.next_double() * 1000.0);
+  for (size_t c : active) active_total += c;
+  std::printf("avg events active at a random time: %.1f (batch of %zu stabs)\n",
+              double(active_total) / double(stab_times.size()),
+              stab_times.size());
+
+  std::vector<RangeQuery2D> rects(64);
+  rects[0] = RangeQuery2D{0.25, 0.35, 0.25, 0.35};
+  for (size_t i = 1; i < rects.size(); ++i) {
+    double x = rng.next_double() * 0.9, y = rng.next_double() * 0.9;
+    rects[i] = RangeQuery2D{x, x + 0.1, y, y + 0.1};
   }
-  std::printf("avg events active at a random time: %.1f\n",
-              double(active_total) / 100.0);
+  auto region_hits = by_location.query_batch(rects);
+  std::printf("events in [0.25,0.35]^2: %zu (batch of %zu rectangles, "
+              "%zu hits total)\n",
+              region_hits.count(0), rects.size(), region_hits.total());
 
-  auto region_hits =
-      by_location.query(0.25, 0.35, 0.25, 0.35);
-  std::printf("events in [0.25,0.35]^2: %zu\n", region_hits.size());
-
-  auto severe = by_severity.query(100.0, 200.0, 9.5);
-  std::printf("severity >= 9.5 in time [100,200]: %zu events\n",
-              severe.size());
+  std::vector<Query3Sided> windows(64);
+  windows[0] = Query3Sided{100.0, 200.0, 9.5};
+  for (size_t i = 1; i < windows.size(); ++i) {
+    double t0 = rng.next_double() * 900.0;
+    windows[i] = Query3Sided{t0, t0 + 100.0, 9.5};
+  }
+  auto severe_batch = by_severity.query_batch(windows);
+  auto severe = severe_batch.result(0);
+  std::printf("severity >= 9.5 in time [100,200]: %zu events "
+              "(batch of %zu windows)\n",
+              severe.size(), windows.size());
   for (size_t i = 0; i < std::min<size_t>(severe.size(), 3); ++i) {
     const Event& e = events[severe[i]];
     std::printf("  event %u: t=[%.2f,%.2f] at (%.3f,%.3f) severity %.2f\n",
                 severe[i], e.t_start, e.t_end, e.x, e.y, e.severity);
   }
   auto qc = queries.delta();
-  std::printf("query phase: %llu reads, %llu writes\n",
+  std::printf("query phase (%zu batched queries): %llu reads, %llu writes\n",
+              stab_times.size() + rects.size() + windows.size(),
               (unsigned long long)qc.reads, (unsigned long long)qc.writes);
 
   // Retention: expire the first half of the events.

@@ -225,9 +225,69 @@ StaticIntervalTree StaticIntervalTree::build_classic(
   return t;
 }
 
-std::vector<uint32_t> StaticIntervalTree::stab(double q) const {
-  std::vector<uint32_t> out;
-  if (n_ == 0) return out;
+namespace {
+
+// Reporting visitor: scans each run with early exit, one read per scanned
+// entry and one output write per reported id (via emit).
+template <typename Emit>
+struct StaticStabReport {
+  const std::vector<std::pair<double, uint32_t>>& by_left;
+  const std::vector<std::pair<double, uint32_t>>& by_right;
+  double q;
+  Emit emit;
+
+  void left_run(size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      asym::count_read();
+      if (by_left[i].first > q) break;
+      emit(by_left[i].second);
+    }
+  }
+  void right_run(size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      asym::count_read();
+      if (by_right[i].first < q) break;
+      emit(by_right[i].second);
+    }
+  }
+  void all_run(size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      asym::count_read();
+      emit(by_left[i].second);
+    }
+  }
+};
+
+// Counting visitor (Appendix A): binary search in each visited node's sorted
+// run — O(log^2 n + duplicate fringe) reads, zero writes.
+struct StaticStabCount {
+  const std::vector<std::pair<double, uint32_t>>& by_left;
+  const std::vector<std::pair<double, uint32_t>>& by_right;
+  double q;
+  size_t total = 0;
+
+  void left_run(size_t lo, size_t hi) {
+    auto it = std::upper_bound(by_left.begin() + lo, by_left.begin() + hi,
+                               std::make_pair(q, UINT32_MAX));
+    asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
+    total += static_cast<size_t>(it - (by_left.begin() + lo));
+  }
+  void right_run(size_t lo, size_t hi) {
+    // by_right is sorted descending by r.
+    auto it = std::lower_bound(by_right.begin() + lo, by_right.begin() + hi, q,
+                               [](const std::pair<double, uint32_t>& e,
+                                  double v) { return e.first >= v; });
+    asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
+    total += static_cast<size_t>(it - (by_right.begin() + lo));
+  }
+  void all_run(size_t lo, size_t hi) { total += hi - lo; }
+};
+
+}  // namespace
+
+template <typename V>
+void StaticIntervalTree::stab_visit(double q, V&& vis) const {
+  if (n_ == 0) return;
   // Walk by key comparison; on an exact key match the walk forks into both
   // subtrees (duplicate endpoint values can place storage nodes on either
   // side). The fork is output-sensitive: every node whose key equals q is an
@@ -237,30 +297,14 @@ std::vector<uint32_t> StaticIntervalTree::stab(double q) const {
     double key = keys_[pos - 1];
     int lvl = level_of(pos);
     size_t step = lvl > 0 ? (size_t{1} << (lvl - 1)) : 0;
-    size_t l0 = node_left_off_[pos - 1], l1 = node_left_off_[pos];
-    size_t r0 = node_right_off_[pos - 1], r1 = node_right_off_[pos];
     if (q < key) {
-      for (size_t i = l0; i < l1; ++i) {
-        asym::count_read();
-        if (by_left_[i].first > q) break;
-        asym::count_write();
-        out.push_back(by_left_[i].second);
-      }
+      vis.left_run(node_left_off_[pos - 1], node_left_off_[pos]);
       if (lvl > 0) self(self, pos - step);
     } else if (q > key) {
-      for (size_t i = r0; i < r1; ++i) {
-        asym::count_read();
-        if (by_right_[i].first < q) break;
-        asym::count_write();
-        out.push_back(by_right_[i].second);
-      }
+      vis.right_run(node_right_off_[pos - 1], node_right_off_[pos]);
       if (lvl > 0) self(self, pos + step);
     } else {  // q == key: everything stored here contains q; fork
-      for (size_t i = l0; i < l1; ++i) {
-        asym::count_read();
-        asym::count_write();
-        out.push_back(by_left_[i].second);
-      }
+      vis.all_run(node_left_off_[pos - 1], node_left_off_[pos]);
       if (lvl > 0) {
         self(self, pos - step);
         self(self, pos + step);
@@ -268,47 +312,43 @@ std::vector<uint32_t> StaticIntervalTree::stab(double q) const {
     }
   };
   walk(walk, root_pos());
+}
+
+std::vector<uint32_t> StaticIntervalTree::stab(double q) const {
+  std::vector<uint32_t> out;
+  auto emit = [&](uint32_t id) {
+    asym::count_write();
+    out.push_back(id);
+  };
+  StaticStabReport<decltype(emit)> vis{by_left_, by_right_, q, emit};
+  stab_visit(q, vis);
   return out;
 }
 
 size_t StaticIntervalTree::stab_count(double q) const {
-  // Appendix A counting variant: binary search in each visited node's sorted
-  // run — O(log^2 n + duplicate fringe) reads, zero writes.
-  if (n_ == 0) return 0;
-  size_t total = 0;
-  auto walk = [&](auto&& self, size_t pos) -> void {
-    asym::count_read();
-    double key = keys_[pos - 1];
-    int lvl = level_of(pos);
-    size_t step = lvl > 0 ? (size_t{1} << (lvl - 1)) : 0;
-    size_t l0 = node_left_off_[pos - 1], l1 = node_left_off_[pos];
-    size_t r0 = node_right_off_[pos - 1], r1 = node_right_off_[pos];
-    if (q < key) {
-      auto it = std::upper_bound(by_left_.begin() + l0, by_left_.begin() + l1,
-                                 std::make_pair(q, UINT32_MAX));
-      asym::count_read(static_cast<uint64_t>(std::bit_width(l1 - l0 + 1)));
-      total += static_cast<size_t>(it - (by_left_.begin() + l0));
-      if (lvl > 0) self(self, pos - step);
-    } else if (q > key) {
-      // by_right_ is sorted descending by r.
-      auto it = std::lower_bound(
-          by_right_.begin() + r0, by_right_.begin() + r1, q,
-          [](const std::pair<double, uint32_t>& e, double v) {
-            return e.first >= v;
-          });
-      asym::count_read(static_cast<uint64_t>(std::bit_width(r1 - r0 + 1)));
-      total += static_cast<size_t>(it - (by_right_.begin() + r0));
-      if (lvl > 0) self(self, pos + step);
-    } else {
-      total += l1 - l0;
-      if (lvl > 0) {
-        self(self, pos - step);
-        self(self, pos + step);
-      }
-    }
-  };
-  walk(walk, root_pos());
-  return total;
+  StaticStabCount vis{by_left_, by_right_, q};
+  stab_visit(q, vis);
+  return vis.total;
+}
+
+parallel::BatchResult<uint32_t> StaticIntervalTree::stab_batch(
+    const std::vector<double>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(), [&](size_t i) { return stab_count(qs[i]); },
+      [&](size_t i, uint32_t* out) {
+        auto emit = [&](uint32_t id) {
+          asym::count_write();
+          *out++ = id;
+        };
+        StaticStabReport<decltype(emit)> vis{by_left_, by_right_, qs[i], emit};
+        stab_visit(qs[i], vis);
+      });
+}
+
+std::vector<size_t> StaticIntervalTree::stab_count_batch(
+    const std::vector<double>& qs) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return stab_count(qs[i]); });
 }
 
 bool StaticIntervalTree::validate(const std::vector<Interval>& ivs) const {
@@ -744,53 +784,56 @@ bool DynamicIntervalTree::erase(const Interval& iv) {
   return true;
 }
 
-std::vector<uint32_t> DynamicIntervalTree::stab(double q) const {
-  std::vector<uint32_t> out;
+template <typename F>
+void DynamicIntervalTree::stab_visit(double q, F&& emit) const {
   uint32_t v = root_;
   while (v != kNull) {
     asym::count_read();
     const Node& nd = pool_[v];
     if (q < nd.key) {
-      nd.by_l.report_leq(q, [&](double, uint32_t id) {
-        asym::count_write();
-        out.push_back(id);
-      });
+      nd.by_l.report_leq(q, [&](double, uint32_t id) { emit(id); });
       v = nd.left;
     } else if (q > nd.key) {
-      nd.by_r.report_geq(q, [&](double, uint32_t id) {
-        asym::count_write();
-        out.push_back(id);
-      });
+      nd.by_r.report_geq(q, [&](double, uint32_t id) { emit(id); });
       v = nd.right;
     } else {
-      nd.by_l.for_each([&](double, uint32_t id) {
-        asym::count_write();
-        out.push_back(id);
-      });
+      nd.by_l.for_each([&](double, uint32_t id) { emit(id); });
       v = nd.right;  // equal keys (with their own intervals) lie right
     }
   }
+}
+
+std::vector<uint32_t> DynamicIntervalTree::stab(double q) const {
+  std::vector<uint32_t> out;
+  stab_visit(q, [&](uint32_t id) {
+    asym::count_write();
+    out.push_back(id);
+  });
   return out;
 }
 
-size_t DynamicIntervalTree::stab_count_scan(double q) const {
+size_t DynamicIntervalTree::stab_count(double q) const {
   size_t total = 0;
-  uint32_t v = root_;
-  while (v != kNull) {
-    asym::count_read();
-    const Node& nd = pool_[v];
-    if (q < nd.key) {
-      nd.by_l.report_leq(q, [&](double, uint32_t) { ++total; });
-      v = nd.left;
-    } else if (q > nd.key) {
-      nd.by_r.report_geq(q, [&](double, uint32_t) { ++total; });
-      v = nd.right;
-    } else {
-      nd.by_l.for_each([&](double, uint32_t) { ++total; });
-      v = nd.right;
-    }
-  }
+  stab_visit(q, [&](uint32_t) { ++total; });
   return total;
+}
+
+parallel::BatchResult<uint32_t> DynamicIntervalTree::stab_batch(
+    const std::vector<double>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(), [&](size_t i) { return stab_count(qs[i]); },
+      [&](size_t i, uint32_t* out) {
+        stab_visit(qs[i], [&](uint32_t id) {
+          asym::count_write();
+          *out++ = id;
+        });
+      });
+}
+
+std::vector<size_t> DynamicIntervalTree::stab_count_batch(
+    const std::vector<double>& qs) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return stab_count(qs[i]); });
 }
 
 size_t DynamicIntervalTree::height() const {

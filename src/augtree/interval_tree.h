@@ -32,6 +32,7 @@
 #include "src/augtree/alpha.h"
 #include "src/augtree/interval.h"
 #include "src/augtree/treap.h"
+#include "src/parallel/batch_query.h"
 
 namespace weg::augtree {
 
@@ -53,11 +54,25 @@ class StaticIntervalTree {
   // Counting variant (Appendix A): no output writes.
   size_t stab_count(double q) const;
 
+  // Batched queries on the shared two-phase engine.
+  parallel::BatchResult<uint32_t> stab_batch(
+      const std::vector<double>& qs) const;
+  std::vector<size_t> stab_count_batch(const std::vector<double>& qs) const;
+
   size_t size() const { return n_; }
   bool validate(const std::vector<Interval>& ivs) const;
 
  private:
   friend class IntervalTreeTestPeer;
+
+  // The single templated stab traversal: walks the endpoint tree (forking on
+  // exact key matches) and hands the visitor each visited node's CSR run:
+  //   vis.left_run(lo, hi)  — by_left_[lo, hi): the prefix with l <= q,
+  //   vis.right_run(lo, hi) — by_right_[lo, hi): the prefix with r >= q,
+  //   vis.all_run(lo, hi)   — by_left_[lo, hi): q == key, take everything.
+  // stab, stab_count, and the batch variants all instantiate this.
+  template <typename V>
+  void stab_visit(double q, V&& vis) const;
 
   // Implicit perfect BST over m_ = 2^h - 1 slots; in-order position p
   // (1-based) stores the endpoint of rank p-1 (+inf padding above 2n).
@@ -93,7 +108,14 @@ class DynamicIntervalTree {
   void bulk_insert(const std::vector<Interval>& ivs);
 
   std::vector<uint32_t> stab(double q) const;
-  size_t stab_count_scan(double q) const;  // scan-based count (no writes)
+  // Counting variant: same API as the static trees; scan-based over the
+  // inner treaps (no subtree sizes maintained), still no output writes.
+  size_t stab_count(double q) const;
+
+  // Batched queries on the shared two-phase engine.
+  parallel::BatchResult<uint32_t> stab_batch(
+      const std::vector<double>& qs) const;
+  std::vector<size_t> stab_count_batch(const std::vector<double>& qs) const;
 
   size_t size() const { return live_intervals_; }
   size_t num_nodes() const { return node_count_; }
@@ -141,6 +163,12 @@ class DynamicIntervalTree {
   void mark_criticals(uint32_t v);
   void collect(uint32_t v, std::vector<std::pair<double, bool>>& keys,
                std::vector<Interval>& ivs) const;
+
+  // The single templated stab traversal: descends the skeleton emitting the
+  // id of every stored interval containing q. stab, stab_count, and the
+  // batch variants all instantiate it.
+  template <typename F>
+  void stab_visit(double q, F&& emit) const;
 
   uint64_t alpha_;
   std::unordered_map<uint32_t, Interval> ivs_;  // id -> interval (for rebuilds)

@@ -239,6 +239,27 @@ size_t StaticPriorityTree::query_count(double xl, double xr, double yb) const {
   return c;
 }
 
+parallel::BatchResult<uint32_t> StaticPriorityTree::query_batch(
+    const std::vector<Query3Sided>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(),
+      [&](size_t i) { return query_count(qs[i].xl, qs[i].xr, qs[i].yb); },
+      [&](size_t i, uint32_t* out) {
+        query_rec(root_, -kInf, kInf, qs[i].xl, qs[i].xr, qs[i].yb,
+                  [&](const PPoint& p) {
+                    asym::count_write();
+                    *out++ = p.id;
+                  });
+      });
+}
+
+std::vector<size_t> StaticPriorityTree::query_count_batch(
+    const std::vector<Query3Sided>& qs) const {
+  return parallel::batch_map<size_t>(qs.size(), [&](size_t i) {
+    return query_count(qs[i].xl, qs[i].xr, qs[i].yb);
+  });
+}
+
 size_t StaticPriorityTree::height() const {
   auto rec = [&](auto&& self, uint32_t v) -> size_t {
     if (v == kNull) return 0;
@@ -553,45 +574,58 @@ bool DynamicPriorityTree::erase(const PPoint& p) {
   return true;
 }
 
+template <typename F>
+void DynamicPriorityTree::query_rec(uint32_t v, double xlo, double xhi,
+                                    double xl, double xr, double yb,
+                                    F&& report) const {
+  if (v == kNull) return;
+  if (xhi < xl || xlo > xr) return;  // x-range disjoint
+  asym::count_read();
+  const Node& nd = pool_[v];
+  if (nd.has_point) {
+    if (nd.pt.y < yb) return;  // heap prune (dead points prune too)
+    if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr) report(nd.pt);
+  }
+  query_rec(nd.left, xlo, nd.split, xl, xr, yb, report);
+  query_rec(nd.right, nd.split, xhi, xl, xr, yb, report);
+}
+
 std::vector<uint32_t> DynamicPriorityTree::query(double xl, double xr,
                                                  double yb) const {
   std::vector<uint32_t> out;
-  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi) -> void {
-    if (v == kNull) return;
-    if (xhi < xl || xlo > xr) return;
-    asym::count_read();
-    const Node& nd = pool_[v];
-    if (nd.has_point) {
-      if (nd.pt.y < yb) return;  // heap prune (dead points prune too)
-      if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr) {
-        asym::count_write();
-        out.push_back(nd.pt.id);
-      }
-    }
-    self(self, nd.left, xlo, nd.split);
-    self(self, nd.right, nd.split, xhi);
-  };
-  rec(rec, root_, -kInf, kInf);
+  query_rec(root_, -kInf, kInf, xl, xr, yb, [&](const PPoint& p) {
+    asym::count_write();
+    out.push_back(p.id);
+  });
   return out;
 }
 
 size_t DynamicPriorityTree::query_count(double xl, double xr,
                                         double yb) const {
   size_t c = 0;
-  auto rec = [&](auto&& self, uint32_t v, double xlo, double xhi) -> void {
-    if (v == kNull) return;
-    if (xhi < xl || xlo > xr) return;
-    asym::count_read();
-    const Node& nd = pool_[v];
-    if (nd.has_point) {
-      if (nd.pt.y < yb) return;
-      if (!nd.dead && nd.pt.x >= xl && nd.pt.x <= xr) ++c;
-    }
-    self(self, nd.left, xlo, nd.split);
-    self(self, nd.right, nd.split, xhi);
-  };
-  rec(rec, root_, -kInf, kInf);
+  query_rec(root_, -kInf, kInf, xl, xr, yb, [&](const PPoint&) { ++c; });
   return c;
+}
+
+parallel::BatchResult<uint32_t> DynamicPriorityTree::query_batch(
+    const std::vector<Query3Sided>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(),
+      [&](size_t i) { return query_count(qs[i].xl, qs[i].xr, qs[i].yb); },
+      [&](size_t i, uint32_t* out) {
+        query_rec(root_, -kInf, kInf, qs[i].xl, qs[i].xr, qs[i].yb,
+                  [&](const PPoint& p) {
+                    asym::count_write();
+                    *out++ = p.id;
+                  });
+      });
+}
+
+std::vector<size_t> DynamicPriorityTree::query_count_batch(
+    const std::vector<Query3Sided>& qs) const {
+  return parallel::batch_map<size_t>(qs.size(), [&](size_t i) {
+    return query_count(qs[i].xl, qs[i].xr, qs[i].yb);
+  });
 }
 
 size_t DynamicPriorityTree::height() const {

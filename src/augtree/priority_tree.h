@@ -30,6 +30,7 @@
 
 #include "src/asym/counters.h"
 #include "src/augtree/alpha.h"
+#include "src/parallel/batch_query.h"
 
 namespace weg::augtree {
 
@@ -41,6 +42,11 @@ struct PPoint {
   friend bool operator==(const PPoint& a, const PPoint& b) {
     return a.x == b.x && a.y == b.y && a.id == b.id;
   }
+};
+
+// A 3-sided query: xl <= x <= xr, y >= yb (batch input).
+struct Query3Sided {
+  double xl = 0, xr = 0, yb = 0;
 };
 
 class StaticPriorityTree {
@@ -60,6 +66,12 @@ class StaticPriorityTree {
   std::vector<uint32_t> query(double xl, double xr, double yb) const;
   size_t query_count(double xl, double xr, double yb) const;
 
+  // Batched queries on the shared two-phase engine.
+  parallel::BatchResult<uint32_t> query_batch(
+      const std::vector<Query3Sided>& qs) const;
+  std::vector<size_t> query_count_batch(
+      const std::vector<Query3Sided>& qs) const;
+
   size_t size() const { return n_; }
   size_t height() const;
   bool validate() const;
@@ -74,6 +86,8 @@ class StaticPriorityTree {
     uint32_t right = kNull;
   };
 
+  // The single templated query traversal; query, query_count, and the batch
+  // variants all instantiate it with different report sinks.
   template <typename F>
   void query_rec(uint32_t v, double xlo, double xhi, double xl, double xr,
                  double yb, F&& report) const;
@@ -92,6 +106,12 @@ class DynamicPriorityTree {
 
   std::vector<uint32_t> query(double xl, double xr, double yb) const;
   size_t query_count(double xl, double xr, double yb) const;
+
+  // Batched queries on the shared two-phase engine.
+  parallel::BatchResult<uint32_t> query_batch(
+      const std::vector<Query3Sided>& qs) const;
+  std::vector<size_t> query_count_batch(
+      const std::vector<Query3Sided>& qs) const;
 
   size_t size() const { return live_; }
   size_t rebuilds() const { return rebuilds_; }
@@ -128,6 +148,11 @@ class DynamicPriorityTree {
                            std::atomic<uint32_t>& cursor);
   void collect_live(uint32_t v, std::vector<PPoint>& out) const;
   void bump_and_rebalance(const std::vector<uint32_t>& path);
+  // The single templated query traversal; query, query_count, and the batch
+  // variants all instantiate it with different report sinks.
+  template <typename F>
+  void query_rec(uint32_t v, double xlo, double xhi, double xl, double xr,
+                 double yb, F&& report) const;
 
   uint64_t alpha_;
   std::vector<Node> pool_;

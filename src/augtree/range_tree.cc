@@ -130,22 +130,6 @@ StaticRangeTree StaticRangeTree::build(const std::vector<PPoint>& pts,
   return t;
 }
 
-template <typename F>
-void StaticRangeTree::covered(size_t pos, double yb, double yt,
-                              F&& emit) const {
-  size_t lo = inner_off_[pos - 1], hi = inner_off_[pos];
-  auto first = std::lower_bound(
-      ys_.begin() + lo, ys_.begin() + hi, yb,
-      [](const std::pair<double, uint32_t>& e, double v) {
-        return e.first < v;
-      });
-  asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
-  for (auto it = first; it != ys_.begin() + hi && it->first <= yt; ++it) {
-    asym::count_read();
-    emit(it->second);
-  }
-}
-
 namespace {
 
 // Shared canonical decomposition over the implicit tree: visits node `pos`
@@ -168,12 +152,66 @@ void decompose(size_t pos, size_t a, size_t b, size_t rl, size_t rr, size_t n,
   decompose(pos + step, own_rank + 1, b, rl, rr, n, covered_fn, own_fn);
 }
 
+// Reporting visitor: scans each covered node's y-run from lower_bound(yb)
+// while y <= yt, one read per scanned entry.
+template <typename Emit>
+struct StaticRangeReport {
+  const std::vector<std::pair<double, uint32_t>>& ys;
+  const std::vector<PPoint>& by_x;
+  double yb, yt;
+  Emit emit;
+
+  void covered(size_t lo, size_t hi) {
+    auto first = std::lower_bound(
+        ys.begin() + lo, ys.begin() + hi, yb,
+        [](const std::pair<double, uint32_t>& e, double v) {
+          return e.first < v;
+        });
+    asym::count_read(static_cast<uint64_t>(std::bit_width(hi - lo + 1)));
+    for (auto it = first; it != ys.begin() + hi && it->first <= yt; ++it) {
+      asym::count_read();
+      emit(it->second);
+    }
+  }
+  void point(size_t rank) {
+    asym::count_read();
+    if (by_x[rank].y >= yb && by_x[rank].y <= yt) emit(by_x[rank].id);
+  }
+};
+
+// Counting visitor (Appendix A): binary searches only, no per-result reads
+// and no output writes.
+struct StaticRangeCount {
+  const std::vector<std::pair<double, uint32_t>>& ys;
+  const std::vector<PPoint>& by_x;
+  double yb, yt;
+  size_t c = 0;
+
+  void covered(size_t lo, size_t hi) {
+    auto first = std::lower_bound(
+        ys.begin() + lo, ys.begin() + hi, yb,
+        [](const std::pair<double, uint32_t>& e, double v) {
+          return e.first < v;
+        });
+    auto last = std::upper_bound(
+        ys.begin() + lo, ys.begin() + hi, yt,
+        [](double v, const std::pair<double, uint32_t>& e) {
+          return v < e.first;
+        });
+    asym::count_read(static_cast<uint64_t>(2 * std::bit_width(hi - lo + 1)));
+    c += static_cast<size_t>(last - first);
+  }
+  void point(size_t rank) {
+    asym::count_read();
+    if (by_x[rank].y >= yb && by_x[rank].y <= yt) ++c;
+  }
+};
+
 }  // namespace
 
-std::vector<uint32_t> StaticRangeTree::query(double xl, double xr, double yb,
-                                             double yt) const {
-  std::vector<uint32_t> out;
-  if (n_ == 0) return out;
+template <typename V>
+void StaticRangeTree::visit_query(double xl, double xr, V&& vis) const {
+  if (n_ == 0) return;
   auto rl = static_cast<size_t>(
       std::lower_bound(by_x_.begin(), by_x_.end(), xl,
                        [](const PPoint& p, double v) { return p.x < v; }) -
@@ -187,60 +225,54 @@ std::vector<uint32_t> StaticRangeTree::query(double xl, double xr, double yb,
   size_t span = root - 1;  // ranks [root-1-span, root-1+span]
   decompose(
       root, root - 1 - span, root + span, rl, rr, n_,
-      [&](size_t pos) {
-        covered(pos, yb, yt, [&](uint32_t id) {
-          asym::count_write();
-          out.push_back(id);
-        });
-      },
-      [&](size_t rank) {
-        asym::count_read();
-        if (by_x_[rank].y >= yb && by_x_[rank].y <= yt) {
-          asym::count_write();
-          out.push_back(by_x_[rank].id);
-        }
-      });
+      [&](size_t pos) { vis.covered(inner_off_[pos - 1], inner_off_[pos]); },
+      [&](size_t rank) { vis.point(rank); });
+}
+
+std::vector<uint32_t> StaticRangeTree::query(double xl, double xr, double yb,
+                                             double yt) const {
+  std::vector<uint32_t> out;
+  auto emit = [&](uint32_t id) {
+    asym::count_write();
+    out.push_back(id);
+  };
+  StaticRangeReport<decltype(emit)> vis{ys_, by_x_, yb, yt, emit};
+  visit_query(xl, xr, vis);
   return out;
 }
 
 size_t StaticRangeTree::query_count(double xl, double xr, double yb,
                                     double yt) const {
-  size_t c = 0;
-  if (n_ == 0) return 0;
-  auto rl = static_cast<size_t>(
-      std::lower_bound(by_x_.begin(), by_x_.end(), xl,
-                       [](const PPoint& p, double v) { return p.x < v; }) -
-      by_x_.begin());
-  auto rr = static_cast<size_t>(
-      std::upper_bound(by_x_.begin(), by_x_.end(), xr,
-                       [](double v, const PPoint& p) { return v < p.x; }) -
-      by_x_.begin());
-  asym::count_read(static_cast<uint64_t>(2 * std::bit_width(n_)));
-  size_t root = root_pos();
-  size_t span = root - 1;
-  decompose(
-      root, root - 1 - span, root + span, rl, rr, n_,
-      [&](size_t pos) {
-        size_t lo = inner_off_[pos - 1], hi = inner_off_[pos];
-        auto first = std::lower_bound(
-            ys_.begin() + lo, ys_.begin() + hi, yb,
-            [](const std::pair<double, uint32_t>& e, double v) {
-              return e.first < v;
-            });
-        auto last = std::upper_bound(
-            ys_.begin() + lo, ys_.begin() + hi, yt,
-            [](double v, const std::pair<double, uint32_t>& e) {
-              return v < e.first;
-            });
-        asym::count_read(
-            static_cast<uint64_t>(2 * std::bit_width(hi - lo + 1)));
-        c += static_cast<size_t>(last - first);
+  StaticRangeCount vis{ys_, by_x_, yb, yt};
+  visit_query(xl, xr, vis);
+  return vis.c;
+}
+
+parallel::BatchResult<uint32_t> StaticRangeTree::query_batch(
+    const std::vector<RangeQuery2D>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(),
+      [&](size_t i) {
+        const RangeQuery2D& q = qs[i];
+        return query_count(q.xl, q.xr, q.yb, q.yt);
       },
-      [&](size_t rank) {
-        asym::count_read();
-        if (by_x_[rank].y >= yb && by_x_[rank].y <= yt) ++c;
+      [&](size_t i, uint32_t* out) {
+        const RangeQuery2D& q = qs[i];
+        auto emit = [&](uint32_t id) {
+          asym::count_write();
+          *out++ = id;
+        };
+        StaticRangeReport<decltype(emit)> vis{ys_, by_x_, q.yb, q.yt, emit};
+        visit_query(q.xl, q.xr, vis);
       });
-  return c;
+}
+
+std::vector<size_t> StaticRangeTree::query_count_batch(
+    const std::vector<RangeQuery2D>& qs) const {
+  return parallel::batch_map<size_t>(qs.size(), [&](size_t i) {
+    const RangeQuery2D& q = qs[i];
+    return query_count(q.xl, q.xr, q.yb, q.yt);
+  });
 }
 
 bool StaticRangeTree::validate() const {
@@ -633,6 +665,32 @@ size_t AlphaRangeTree::query_count(double xl, double xr, double yb,
   size_t c = 0;
   query_rec(root_, -kInf, kInf, xl, xr, yb, yt, [&](uint32_t) { ++c; });
   return c;
+}
+
+parallel::BatchResult<uint32_t> AlphaRangeTree::query_batch(
+    const std::vector<RangeQuery2D>& qs) const {
+  return parallel::batch_two_phase<uint32_t>(
+      qs.size(),
+      [&](size_t i) {
+        const RangeQuery2D& q = qs[i];
+        return query_count(q.xl, q.xr, q.yb, q.yt);
+      },
+      [&](size_t i, uint32_t* out) {
+        const RangeQuery2D& q = qs[i];
+        query_rec(root_, -kInf, kInf, q.xl, q.xr, q.yb, q.yt,
+                  [&](uint32_t id) {
+                    asym::count_write();
+                    *out++ = id;
+                  });
+      });
+}
+
+std::vector<size_t> AlphaRangeTree::query_count_batch(
+    const std::vector<RangeQuery2D>& qs) const {
+  return parallel::batch_map<size_t>(qs.size(), [&](size_t i) {
+    const RangeQuery2D& q = qs[i];
+    return query_count(q.xl, q.xr, q.yb, q.yt);
+  });
 }
 
 size_t AlphaRangeTree::height() const {

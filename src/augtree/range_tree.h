@@ -27,8 +27,14 @@
 #include "src/augtree/alpha.h"
 #include "src/augtree/priority_tree.h"  // PPoint
 #include "src/augtree/treap.h"
+#include "src/parallel/batch_query.h"
 
 namespace weg::augtree {
+
+// A 2D range query rectangle: xl <= x <= xr, yb <= y <= yt (batch input).
+struct RangeQuery2D {
+  double xl = 0, xr = 0, yb = 0, yt = 0;
+};
 
 class StaticRangeTree {
  public:
@@ -46,6 +52,13 @@ class StaticRangeTree {
   // Counting variant: binary searches only, no output writes.
   size_t query_count(double xl, double xr, double yb, double yt) const;
 
+  // Batched queries on the shared two-phase engine (count pass, scan,
+  // report pass into pre-claimed slices of one flat id array).
+  parallel::BatchResult<uint32_t> query_batch(
+      const std::vector<RangeQuery2D>& qs) const;
+  std::vector<size_t> query_count_batch(
+      const std::vector<RangeQuery2D>& qs) const;
+
   size_t size() const { return n_; }
   bool validate() const;
 
@@ -60,8 +73,14 @@ class StaticRangeTree {
   std::vector<uint32_t> inner_off_;               // size m_+1
   std::vector<std::pair<double, uint32_t>> ys_;   // (y, id) per node, sorted
 
-  template <typename F>
-  void covered(size_t pos, double yb, double yt, F&& emit) const;
+  // The single templated query traversal: canonical decomposition of
+  // [xl, xr] into O(log n) covered subtrees plus O(log n) individual rank
+  // candidates. The visitor owns the y dimension:
+  //   vis.covered(lo, hi) — ys_[lo, hi) is one covered node's y-sorted run,
+  //   vis.point(rank)     — candidate point by x-rank (y untested).
+  // query, query_count, and the batch variants all instantiate this.
+  template <typename V>
+  void visit_query(double xl, double xr, V&& vis) const;
 };
 
 class AlphaRangeTree {
@@ -79,6 +98,12 @@ class AlphaRangeTree {
   std::vector<uint32_t> query(double xl, double xr, double yb,
                               double yt) const;
   size_t query_count(double xl, double xr, double yb, double yt) const;
+
+  // Batched queries on the shared two-phase engine.
+  parallel::BatchResult<uint32_t> query_batch(
+      const std::vector<RangeQuery2D>& qs) const;
+  std::vector<size_t> query_count_batch(
+      const std::vector<RangeQuery2D>& qs) const;
 
   size_t size() const { return live_; }
   size_t rebuilds() const { return rebuilds_; }
@@ -134,6 +159,8 @@ class AlphaRangeTree {
 
   template <typename F>
   void cover(uint32_t v, double yb, double yt, F&& emit) const;
+  // The single templated query traversal; query, query_count, and the batch
+  // variants all instantiate it with different emit sinks.
   template <typename F>
   void query_rec(uint32_t v, double lo, double hi, double xl, double xr,
                  double yb, double yt, F&& emit) const;

@@ -140,21 +140,8 @@ void LogForest<K>::rebuild_from(std::vector<Point> pts) {
 template <int K>
 size_t LogForest<K>::range_count(const Box& query, QueryStats* qs) const {
   size_t total = 0;
-  for (const Level& L : levels_) {
-    if (!L.used) continue;
-    // Report and filter by liveness (the static tree cannot subtract dead
-    // points from counts).
-    auto pts = L.tree.range_report(query, qs);
-    const auto& tree_pts = L.tree.points();
-    if (L.dead == 0) {
-      total += pts.size();
-      continue;
-    }
-    // Re-scan matching indices to test liveness.
-    for (size_t i = 0; i < tree_pts.size(); ++i) {
-      if (L.alive[i] && query.contains(tree_pts[i])) ++total;
-    }
-  }
+  range_visit(
+      query, [&](const Point&) { ++total; }, qs);
   return total;
 }
 
@@ -162,21 +149,44 @@ template <int K>
 std::vector<typename LogForest<K>::Point> LogForest<K>::range_report(
     const Box& query, QueryStats* qs) const {
   std::vector<Point> out;
-  for (const Level& L : levels_) {
-    if (!L.used) continue;
-    if (L.dead == 0) {
-      auto pts = L.tree.range_report(query, qs);
-      out.insert(out.end(), pts.begin(), pts.end());
-    } else {
-      const auto& tree_pts = L.tree.points();
-      for (size_t i = 0; i < tree_pts.size(); ++i) {
-        if (L.alive[i] && query.contains(tree_pts[i])) {
-          out.push_back(tree_pts[i]);
-        }
-      }
-    }
-  }
+  range_visit(
+      query,
+      [&](const Point& p) {
+        asym::count_write();
+        out.push_back(p);
+      },
+      qs);
   return out;
+}
+
+template <int K>
+std::vector<size_t> LogForest<K>::range_count_batch(
+    const std::vector<Box>& qs) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+}
+
+template <int K>
+parallel::BatchResult<typename LogForest<K>::Point>
+LogForest<K>::range_report_batch(const std::vector<Box>& qs) const {
+  return parallel::batch_two_phase<Point>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      [&](size_t i, Point* out) {
+        range_visit(
+            qs[i],
+            [&](const Point& p) {
+              asym::count_write();
+              *out++ = p;
+            },
+            nullptr);
+      });
+}
+
+template <int K>
+std::vector<std::optional<typename LogForest<K>::Point>>
+LogForest<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
+  return parallel::batch_map<std::optional<Point>>(
+      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
 }
 
 template <int K>
@@ -486,9 +496,10 @@ bool DynamicKdTree<K>::erase(const Point& p) {
 }
 
 template <int K>
-size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
-  if (root_ == kNullNode) return 0;
-  size_t count = 0;
+template <typename V>
+void DynamicKdTree<K>::range_visit(const Box& query, V&& vis,
+                                   QueryStats* qs) const {
+  if (root_ == kNullNode) return;
   auto rec = [&](auto&& self, uint32_t v) -> void {
     const Node& nd = pool_[v];
     if (qs) ++qs->nodes_visited;
@@ -497,7 +508,7 @@ size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
       for (const auto& [pt, alive] : nd.leaf_pts) {
         asym::count_read();
         if (qs) ++qs->points_scanned;
-        if (alive && query.contains(pt)) ++count;
+        if (alive && query.contains(pt)) vis(pt);
       }
       return;
     }
@@ -505,6 +516,13 @@ size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
     if (query.hi[nd.dim] >= nd.split) self(self, nd.right);
   };
   rec(rec, root_);
+}
+
+template <int K>
+size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
+  size_t count = 0;
+  range_visit(
+      query, [&](const Point&) { ++count; }, qs);
   return count;
 }
 
@@ -512,27 +530,44 @@ template <int K>
 std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::range_report(
     const Box& query, QueryStats* qs) const {
   std::vector<Point> out;
-  if (root_ == kNullNode) return out;
-  auto rec = [&](auto&& self, uint32_t v) -> void {
-    const Node& nd = pool_[v];
-    if (qs) ++qs->nodes_visited;
-    asym::count_read();
-    if (nd.is_leaf()) {
-      for (const auto& [pt, alive] : nd.leaf_pts) {
-        asym::count_read();
-        if (qs) ++qs->points_scanned;
-        if (alive && query.contains(pt)) {
-          asym::count_write();
-          out.push_back(pt);
-        }
-      }
-      return;
-    }
-    if (query.lo[nd.dim] <= nd.split) self(self, nd.left);
-    if (query.hi[nd.dim] >= nd.split) self(self, nd.right);
-  };
-  rec(rec, root_);
+  range_visit(
+      query,
+      [&](const Point& pt) {
+        asym::count_write();
+        out.push_back(pt);
+      },
+      qs);
   return out;
+}
+
+template <int K>
+std::vector<size_t> DynamicKdTree<K>::range_count_batch(
+    const std::vector<Box>& qs) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+}
+
+template <int K>
+parallel::BatchResult<typename DynamicKdTree<K>::Point>
+DynamicKdTree<K>::range_report_batch(const std::vector<Box>& qs) const {
+  return parallel::batch_two_phase<Point>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      [&](size_t i, Point* out) {
+        range_visit(
+            qs[i],
+            [&](const Point& pt) {
+              asym::count_write();
+              *out++ = pt;
+            },
+            nullptr);
+      });
+}
+
+template <int K>
+std::vector<std::optional<typename DynamicKdTree<K>::Point>>
+DynamicKdTree<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
+  return parallel::batch_map<std::optional<Point>>(
+      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
 }
 
 template <int K>

@@ -58,6 +58,13 @@ class LogForest {
   std::optional<Point> ann(const Point& q, double eps = 0.0,
                            QueryStats* qs = nullptr) const;
 
+  // Batched queries on the shared two-phase engine.
+  std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
+  parallel::BatchResult<Point> range_report_batch(
+      const std::vector<Box>& qs) const;
+  std::vector<std::optional<Point>> ann_batch(const std::vector<Point>& qs,
+                                              double eps = 0.0) const;
+
   size_t size() const { return live_; }
   size_t num_trees() const;
 
@@ -68,6 +75,24 @@ class LogForest {
     size_t dead = 0;
     bool used = false;
   };
+
+  // The single templated range traversal: calls vis(pt) for every live point
+  // inside `query`, level by level (each level delegates to the static
+  // tree's range_visit and filters by liveness). range_count, range_report,
+  // and the batch variants all instantiate it.
+  template <typename V>
+  void range_visit(const Box& query, V&& vis, QueryStats* qs) const {
+    for (const Level& L : levels_) {
+      if (!L.used) continue;
+      const auto& tree_pts = L.tree.points();
+      L.tree.range_visit(
+          query,
+          [&](size_t i) {
+            if (L.dead == 0 || L.alive[i]) vis(tree_pts[i]);
+          },
+          qs);
+    }
+  }
 
   std::vector<Point> flatten_alive() const;
   void rebuild_from(std::vector<Point> pts);
@@ -101,6 +126,13 @@ class DynamicKdTree {
   std::optional<Point> ann(const Point& q, double eps = 0.0,
                            QueryStats* qs = nullptr) const;
 
+  // Batched queries on the shared two-phase engine.
+  std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
+  parallel::BatchResult<Point> range_report_batch(
+      const std::vector<Box>& qs) const;
+  std::vector<std::optional<Point>> ann_batch(const std::vector<Point>& qs,
+                                              double eps = 0.0) const;
+
   size_t size() const { return live_; }
   size_t height() const;
   // Number of subtree reconstructions triggered so far (test/bench hook).
@@ -123,6 +155,11 @@ class DynamicKdTree {
   double imbalance_tolerance() const;
   uint32_t alloc_node();
   void free_subtree(uint32_t v);
+  // The single templated range traversal: calls vis(pt) for every live point
+  // inside `query`, in deterministic DFS order. range_count, range_report,
+  // and the batch variants all instantiate it.
+  template <typename V>
+  void range_visit(const Box& query, V&& vis, QueryStats* qs) const;
   void collect_alive(uint32_t v, std::vector<Point>& out) const;
   // Reconstruction entry point: pre-claims the exact (size-determined) node
   // count through parallel::claim_build_slots, then recurses over id slices

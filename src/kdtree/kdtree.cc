@@ -133,54 +133,10 @@ KdTree<K> KdTree<K>::build_classic(std::vector<Point> points,
 }
 
 template <int K>
-void KdTree<K>::range_rec(uint32_t node, const Box& region, const Box& query,
-                          bool count_only, size_t& count,
-                          std::vector<Point>* out, QueryStats* qs) const {
-  if (qs) ++qs->nodes_visited;
-  asym::count_read();  // fetch the node
-  const Node& nd = nodes_[node];
-  if (nd.is_leaf()) {
-    for (uint32_t i = nd.begin; i < nd.end; ++i) {
-      asym::count_read();
-      if (qs) ++qs->points_scanned;
-      if (query.contains(points_[i])) {
-        ++count;
-        if (!count_only && out) {
-          asym::count_write();  // output write
-          out->push_back(points_[i]);
-        }
-      }
-    }
-    return;
-  }
-  if (region.inside(query) && count_only) {
-    // Whole region inside query: for counting we could stop here with a
-    // subtree count; without stored counts we still scan, but callers that
-    // need the Lemma 6.1 bound use nodes_visited which already stops growing
-    // along this branch in the analysis. We descend only the needed side(s).
-  }
-  Box left_region = region;
-  left_region.hi[nd.dim] = nd.split;
-  Box right_region = region;
-  right_region.lo[nd.dim] = nd.split;
-  if (query.lo[nd.dim] <= nd.split) {
-    range_rec(nd.left, left_region, query, count_only, count, out, qs);
-  }
-  if (query.hi[nd.dim] >= nd.split) {
-    range_rec(nd.right, right_region, query, count_only, count, out, qs);
-  }
-}
-
-template <int K>
 size_t KdTree<K>::range_count(const Box& query, QueryStats* qs) const {
-  if (root_ == kNullNode) return 0;
   size_t count = 0;
-  Box all;
-  for (int d = 0; d < K; ++d) {
-    all.lo[d] = -std::numeric_limits<double>::infinity();
-    all.hi[d] = std::numeric_limits<double>::infinity();
-  }
-  range_rec(root_, all, query, true, count, nullptr, qs);
+  range_visit(
+      query, [&](size_t) { ++count; }, qs);
   return count;
 }
 
@@ -188,131 +144,121 @@ template <int K>
 std::vector<typename KdTree<K>::Point> KdTree<K>::range_report(
     const Box& query, QueryStats* qs) const {
   std::vector<Point> out;
-  if (root_ == kNullNode) return out;
-  size_t count = 0;
-  Box all;
-  for (int d = 0; d < K; ++d) {
-    all.lo[d] = -std::numeric_limits<double>::infinity();
-    all.hi[d] = std::numeric_limits<double>::infinity();
-  }
-  range_rec(root_, all, query, false, count, &out, qs);
+  range_visit(
+      query,
+      [&](size_t i) {
+        asym::count_write();  // output write
+        out.push_back(points_[i]);
+      },
+      qs);
   return out;
 }
 
 namespace {
 
-// Best-first ANN helper state shared across recursion.
-template <int K>
-struct AnnState {
-  const geom::PointK<K>* q;
+// Candidate-set visitors for the shared nn_visit traversal.
+struct AnnVisitor {
+  double prune_factor;  // 1/(1+eps)^2
   double best_sq = std::numeric_limits<double>::infinity();
   size_t best_idx = SIZE_MAX;
-  double prune_factor = 1.0;  // 1/(1+eps)^2
-  QueryStats* qs = nullptr;
+
+  double bound() const { return best_sq * prune_factor; }
+  void offer(size_t i, double d2) {
+    if (d2 < best_sq) {
+      best_sq = d2;
+      best_idx = i;
+    }
+  }
+};
+
+struct KnnVisitor {
+  // Max-heap of (distance^2, index) of the current k best.
+  using Entry = std::pair<double, size_t>;
+  size_t k;
+  std::priority_queue<Entry> heap;
+
+  double bound() const {
+    return heap.size() < k ? std::numeric_limits<double>::infinity()
+                           : heap.top().first;
+  }
+  void offer(size_t i, double d2) {
+    if (d2 < bound()) {
+      heap.emplace(d2, i);
+      if (heap.size() > k) heap.pop();
+    }
+  }
+  // Drains the heap into indices sorted ascending by distance.
+  std::vector<size_t> take_sorted() {
+    std::vector<size_t> result(heap.size());
+    for (size_t i = result.size(); i-- > 0;) {
+      result[i] = heap.top().second;
+      heap.pop();
+    }
+    return result;
+  }
 };
 
 }  // namespace
 
 template <int K>
 size_t KdTree<K>::ann(const Point& q, double eps, QueryStats* qs) const {
-  if (root_ == kNullNode) return SIZE_MAX;
-  AnnState<K> st;
-  st.q = &q;
-  st.prune_factor = 1.0 / ((1.0 + eps) * (1.0 + eps));
-  st.qs = qs;
-
-  Box all;
-  for (int d = 0; d < K; ++d) {
-    all.lo[d] = -std::numeric_limits<double>::infinity();
-    all.hi[d] = std::numeric_limits<double>::infinity();
-  }
-  // Recursive depth-first with near-side-first ordering and box pruning.
-  auto rec = [&](auto&& self, uint32_t node, Box region) -> void {
-    if (region.squared_distance(q) > st.best_sq * st.prune_factor) return;
-    if (st.qs) ++st.qs->nodes_visited;
-    asym::count_read();
-    const Node& nd = nodes_[node];
-    if (nd.is_leaf()) {
-      for (uint32_t i = nd.begin; i < nd.end; ++i) {
-        asym::count_read();
-        if (st.qs) ++st.qs->points_scanned;
-        double d2 = geom::squared_distance(points_[i], q);
-        if (d2 < st.best_sq) {
-          st.best_sq = d2;
-          st.best_idx = i;
-        }
-      }
-      return;
-    }
-    Box left_region = region;
-    left_region.hi[nd.dim] = nd.split;
-    Box right_region = region;
-    right_region.lo[nd.dim] = nd.split;
-    if (q[nd.dim] <= nd.split) {
-      self(self, nd.left, left_region);
-      self(self, nd.right, right_region);
-    } else {
-      self(self, nd.right, right_region);
-      self(self, nd.left, left_region);
-    }
-  };
-  rec(rec, root_, all);
-  return st.best_idx;
+  AnnVisitor vis{1.0 / ((1.0 + eps) * (1.0 + eps))};
+  nn_visit(q, vis, qs);
+  return vis.best_idx;
 }
 
 template <int K>
 std::vector<size_t> KdTree<K>::knn(const Point& q, size_t k,
                                    QueryStats* qs) const {
-  std::vector<size_t> result;
-  if (root_ == kNullNode || k == 0) return result;
-  // Max-heap of (distance^2, index) of the current k best.
-  using Entry = std::pair<double, size_t>;
-  std::priority_queue<Entry> heap;
-  Box all;
-  for (int d = 0; d < K; ++d) {
-    all.lo[d] = -std::numeric_limits<double>::infinity();
-    all.hi[d] = std::numeric_limits<double>::infinity();
-  }
-  auto worst = [&] {
-    return heap.size() < k ? std::numeric_limits<double>::infinity()
-                           : heap.top().first;
-  };
-  auto rec = [&](auto&& self, uint32_t node, Box region) -> void {
-    if (region.squared_distance(q) > worst()) return;
-    if (qs) ++qs->nodes_visited;
-    asym::count_read();
-    const Node& nd = nodes_[node];
-    if (nd.is_leaf()) {
-      for (uint32_t i = nd.begin; i < nd.end; ++i) {
-        asym::count_read();
-        if (qs) ++qs->points_scanned;
-        double d2 = geom::squared_distance(points_[i], q);
-        if (d2 < worst()) {
-          heap.emplace(d2, i);
-          if (heap.size() > k) heap.pop();
-        }
-      }
-      return;
-    }
-    Box left_region = region;
-    left_region.hi[nd.dim] = nd.split;
-    Box right_region = region;
-    right_region.lo[nd.dim] = nd.split;
-    if (q[nd.dim] <= nd.split) {
-      self(self, nd.left, left_region);
-      self(self, nd.right, right_region);
-    } else {
-      self(self, nd.right, right_region);
-      self(self, nd.left, left_region);
-    }
-  };
-  rec(rec, root_, all);
-  result.resize(heap.size());
-  for (size_t i = result.size(); i-- > 0;) {
-    result[i] = heap.top().second;
-    heap.pop();
-  }
-  return result;
+  if (k == 0) return {};
+  KnnVisitor vis{k, {}};
+  nn_visit(q, vis, qs);
+  return vis.take_sorted();
+}
+
+template <int K>
+std::vector<size_t> KdTree<K>::range_count_batch(
+    const std::vector<Box>& qs) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+}
+
+template <int K>
+parallel::BatchResult<typename KdTree<K>::Point> KdTree<K>::range_report_batch(
+    const std::vector<Box>& qs) const {
+  return parallel::batch_two_phase<Point>(
+      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      [&](size_t i, Point* out) {
+        range_visit(qs[i], [&](size_t p) {
+          asym::count_write();
+          *out++ = points_[p];
+        });
+      });
+}
+
+template <int K>
+parallel::BatchResult<size_t> KdTree<K>::knn_batch(const std::vector<Point>& qs,
+                                                   size_t k) const {
+  // Every query returns exactly min(k, n) neighbors, so the count pass costs
+  // nothing: the slice sizes are a function of k and n alone.
+  size_t per = std::min(k, points_.size());
+  return parallel::batch_two_phase<size_t>(
+      qs.size(), [&](size_t) { return per; },
+      [&](size_t i, size_t* out) {
+        if (per == 0) return;
+        KnnVisitor vis{k, {}};
+        nn_visit(qs[i], vis);
+        auto nn = vis.take_sorted();
+        asym::count_write(nn.size());
+        std::copy(nn.begin(), nn.end(), out);
+      });
+}
+
+template <int K>
+std::vector<size_t> KdTree<K>::ann_batch(const std::vector<Point>& qs,
+                                         double eps) const {
+  return parallel::batch_map<size_t>(
+      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
 }
 
 template <int K>
@@ -376,12 +322,7 @@ bool KdTree<K>::validate() const {
     uint32_t node;
     Box region;
   };
-  Box all;
-  for (int d = 0; d < K; ++d) {
-    all.lo[d] = -std::numeric_limits<double>::infinity();
-    all.hi[d] = std::numeric_limits<double>::infinity();
-  }
-  std::vector<Frame> stack{{root_, all}};
+  std::vector<Frame> stack{{root_, whole_space()}};
   while (!stack.empty()) {
     Frame f = stack.back();
     stack.pop_back();

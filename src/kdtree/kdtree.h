@@ -17,6 +17,7 @@
 #include "src/asym/counters.h"
 #include "src/geom/box.h"
 #include "src/geom/point.h"
+#include "src/parallel/batch_query.h"
 
 namespace weg::kdtree {
 
@@ -83,6 +84,42 @@ class KdTree {
   std::vector<size_t> knn(const Point& q, size_t k,
                           QueryStats* qs = nullptr) const;
 
+  // --- batched queries (shared two-phase engine) -----------------------
+
+  std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
+  parallel::BatchResult<Point> range_report_batch(
+      const std::vector<Box>& qs) const;
+  // Flat k-NN over all queries: query i's neighbors (indices into points(),
+  // sorted by distance) occupy slice i; every query yields exactly
+  // min(k, size()) results, so the count pass is free.
+  parallel::BatchResult<size_t> knn_batch(const std::vector<Point>& qs,
+                                          size_t k) const;
+  std::vector<size_t> ann_batch(const std::vector<Point>& qs,
+                                double eps = 0.0) const;
+
+  // --- templated traversals (the visitor core) -------------------------
+  //
+  // Each query family has exactly one traversal; the public count/report/
+  // batch entry points (and the dynamic structures layered on this tree)
+  // instantiate them with different visitors.
+
+  // Calls vis(i) for every point index i inside `query`, in deterministic
+  // DFS order (equivalently: ascending i, since leaves partition points_
+  // in order).
+  template <typename V>
+  void range_visit(const Box& query, V&& vis, QueryStats* qs = nullptr) const {
+    if (root_ != kNullNode) range_visit_rec(root_, query, vis, qs);
+  }
+
+  // Nearest-neighbor traversal with box pruning and near-side-first order.
+  // The visitor owns the candidate set:
+  //   vis.bound()      — current squared-distance pruning radius,
+  //   vis.offer(i, d2) — consider points_[i] at squared distance d2.
+  template <typename V>
+  void nn_visit(const Point& q, V&& vis, QueryStats* qs = nullptr) const {
+    if (root_ != kNullNode) nn_visit_rec(root_, whole_space(), q, vis, qs);
+  }
+
   // Index of a point equal to p (SIZE_MAX if absent). Descends the splits,
   // exploring both sides when p lies exactly on a splitting hyperplane.
   size_t find(const Point& p) const;
@@ -118,9 +155,64 @@ class KdTree {
                            bool charge, uint32_t id_base);
 
  private:
-  void range_rec(uint32_t node, const Box& region, const Box& query,
-                 bool count_only, size_t& count, std::vector<Point>* out,
-                 QueryStats* qs) const;
+  static Box whole_space() {
+    Box all;
+    for (int d = 0; d < K; ++d) {
+      all.lo[d] = -std::numeric_limits<double>::infinity();
+      all.hi[d] = std::numeric_limits<double>::infinity();
+    }
+    return all;
+  }
+
+  template <typename V>
+  void range_visit_rec(uint32_t node, const Box& query, V& vis,
+                       QueryStats* qs) const {
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();  // fetch the node
+    const Node& nd = nodes_[node];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        if (query.contains(points_[i])) vis(i);
+      }
+      return;
+    }
+    if (query.lo[nd.dim] <= nd.split) {
+      range_visit_rec(nd.left, query, vis, qs);
+    }
+    if (query.hi[nd.dim] >= nd.split) {
+      range_visit_rec(nd.right, query, vis, qs);
+    }
+  }
+
+  template <typename V>
+  void nn_visit_rec(uint32_t node, const Box& region, const Point& q, V& vis,
+                    QueryStats* qs) const {
+    if (region.squared_distance(q) > vis.bound()) return;
+    if (qs) ++qs->nodes_visited;
+    asym::count_read();
+    const Node& nd = nodes_[node];
+    if (nd.is_leaf()) {
+      for (uint32_t i = nd.begin; i < nd.end; ++i) {
+        asym::count_read();
+        if (qs) ++qs->points_scanned;
+        vis.offer(i, geom::squared_distance(points_[i], q));
+      }
+      return;
+    }
+    Box left_region = region;
+    left_region.hi[nd.dim] = nd.split;
+    Box right_region = region;
+    right_region.lo[nd.dim] = nd.split;
+    if (q[nd.dim] <= nd.split) {
+      nn_visit_rec(nd.left, left_region, q, vis, qs);
+      nn_visit_rec(nd.right, right_region, q, vis, qs);
+    } else {
+      nn_visit_rec(nd.right, right_region, q, vis, qs);
+      nn_visit_rec(nd.left, left_region, q, vis, qs);
+    }
+  }
 
   std::vector<Node> nodes_;
   std::vector<Point> points_;

@@ -72,7 +72,7 @@ TEST(ParallelEquality, DynamicIntervalTreeBulkMatchesBruteForce) {
     double x = rng.next_double();
     auto expect = sorted(brute_stab(ivs, x));
     EXPECT_EQ(sorted(t.stab(x)), expect);
-    EXPECT_EQ(t.stab_count_scan(x), expect.size());
+    EXPECT_EQ(t.stab_count(x), expect.size());
   }
 }
 

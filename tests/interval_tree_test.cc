@@ -151,7 +151,7 @@ TEST_P(DynamicIT, MixedWorkloadMatchesBrute) {
     } else {
       double q = rng.next_double();
       ASSERT_EQ(t.stab(q).size(), brute_stab(alive, q)) << "op " << op;
-      ASSERT_EQ(t.stab_count_scan(q), brute_stab(alive, q));
+      ASSERT_EQ(t.stab_count(q), brute_stab(alive, q));
     }
   }
   EXPECT_TRUE(t.validate());

@@ -1,0 +1,284 @@
+// Batch-vs-serial equality for the parallel batched-query engine
+// (src/parallel/batch_query.h): every structure's *_batch entry point must
+// return, per query, exactly the ids/points/neighbors its serial query
+// returns, in the same order (bitwise equality — both run the same single
+// templated traversal). The CMake registration reruns this suite at
+// WEG_NUM_THREADS=1/2/8, and the golden read/write counts below pin the
+// engine's other contract: the two-phase plan (count pass, exclusive scan,
+// report pass into pre-claimed slices) is a function of the input alone, so
+// asym totals are bit-identical at every worker count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/augtree/interval.h"
+#include "src/augtree/interval_tree.h"
+#include "src/augtree/priority_tree.h"
+#include "src/augtree/range_tree.h"
+#include "src/kdtree/dynamic.h"
+#include "src/kdtree/kdtree.h"
+#include "src/primitives/random.h"
+#include "tests/testing_util.h"
+
+namespace weg {
+namespace {
+
+using augtree::AlphaRangeTree;
+using augtree::DynamicIntervalTree;
+using augtree::DynamicPriorityTree;
+using augtree::Interval;
+using augtree::PPoint;
+using augtree::Query3Sided;
+using augtree::RangeQuery2D;
+using augtree::StaticIntervalTree;
+using augtree::StaticPriorityTree;
+using augtree::StaticRangeTree;
+
+constexpr size_t kN = 30000;  // above the ~2k sequential cutoff
+
+std::vector<Interval> fixed_intervals(size_t n, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<Interval> ivs(n);
+  for (size_t i = 0; i < n; ++i) {
+    double a = rng.next_double();
+    ivs[i] = Interval{a, a + rng.next_double() * 0.05, uint32_t(i)};
+  }
+  return ivs;
+}
+
+std::vector<double> stab_points(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<double> qs(q);
+  for (double& x : qs) x = rng.next_double();
+  return qs;
+}
+
+std::vector<RangeQuery2D> range_queries(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<RangeQuery2D> qs(q);
+  for (auto& r : qs) {
+    r.xl = rng.next_double();
+    r.xr = r.xl + rng.next_double() * 0.2;
+    r.yb = rng.next_double();
+    r.yt = r.yb + rng.next_double() * 0.2;
+  }
+  return qs;
+}
+
+std::vector<Query3Sided> sided_queries(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<Query3Sided> qs(q);
+  for (auto& s : qs) {
+    s.xl = rng.next_double();
+    s.xr = s.xl + rng.next_double() * 0.2;
+    s.yb = 1.0 - rng.next_double() * 0.4;
+  }
+  return qs;
+}
+
+std::vector<geom::Box2> box_queries(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Box2> qs(q);
+  for (auto& b : qs) {
+    b.lo[0] = rng.next_double();
+    b.hi[0] = b.lo[0] + rng.next_double() * 0.2;
+    b.lo[1] = rng.next_double();
+    b.hi[1] = b.lo[1] + rng.next_double() * 0.2;
+  }
+  return qs;
+}
+
+TEST(QueryBatchEquality, IntervalTreesStabBatch) {
+  auto ivs = fixed_intervals(kN, 0xA11CE);
+  auto classic = StaticIntervalTree::build_classic(ivs);
+  auto postsorted = StaticIntervalTree::build_postsorted(ivs);
+  DynamicIntervalTree dynamic(4);
+  dynamic.bulk_insert(ivs);
+  auto qs = stab_points(256, 0xBEEF);
+
+  auto bc = classic.stab_batch(qs);
+  auto bp = postsorted.stab_batch(qs);
+  auto bd = dynamic.stab_batch(qs);
+  auto cc = classic.stab_count_batch(qs);
+  ASSERT_EQ(bc.num_queries(), qs.size());
+  for (size_t i = 0; i < qs.size(); ++i) {
+    EXPECT_EQ(bc.result(i), classic.stab(qs[i]));
+    EXPECT_EQ(bp.result(i), postsorted.stab(qs[i]));
+    EXPECT_EQ(bd.result(i), dynamic.stab(qs[i]));
+    EXPECT_EQ(bc.count(i), classic.stab_count(qs[i]));
+    EXPECT_EQ(bd.count(i), dynamic.stab_count(qs[i]));
+    EXPECT_EQ(cc[i], bc.count(i));
+  }
+}
+
+TEST(QueryBatchEquality, RangeTreesQueryBatch) {
+  auto pts = testing::random_ppoints(kN, 0x5EED);
+  auto classic = StaticRangeTree::build(pts);
+  auto alpha = AlphaRangeTree::build(pts, 4);
+  auto qs = range_queries(128, 0xCAFE);
+
+  auto bc = classic.query_batch(qs);
+  auto ba = alpha.query_batch(qs);
+  auto cc = classic.query_count_batch(qs);
+  auto ca = alpha.query_count_batch(qs);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const RangeQuery2D& q = qs[i];
+    EXPECT_EQ(bc.result(i), classic.query(q.xl, q.xr, q.yb, q.yt));
+    EXPECT_EQ(ba.result(i), alpha.query(q.xl, q.xr, q.yb, q.yt));
+    EXPECT_EQ(cc[i], classic.query_count(q.xl, q.xr, q.yb, q.yt));
+    EXPECT_EQ(ca[i], ba.count(i));
+    EXPECT_EQ(bc.count(i), ba.count(i));  // same answer set size
+  }
+}
+
+TEST(QueryBatchEquality, PriorityTreesQueryBatch) {
+  auto pts = testing::random_ppoints(kN, 0xFACE);
+  auto classic = StaticPriorityTree::build_classic(pts);
+  auto postsorted = StaticPriorityTree::build_postsorted(pts);
+  DynamicPriorityTree dynamic(4);
+  for (const PPoint& p : pts) dynamic.insert(p);
+  auto qs = sided_queries(128, 0xB0BA);
+
+  auto bc = classic.query_batch(qs);
+  auto bp = postsorted.query_batch(qs);
+  auto bd = dynamic.query_batch(qs);
+  auto cd = dynamic.query_count_batch(qs);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    const Query3Sided& q = qs[i];
+    EXPECT_EQ(bc.result(i), classic.query(q.xl, q.xr, q.yb));
+    EXPECT_EQ(bp.result(i), postsorted.query(q.xl, q.xr, q.yb));
+    EXPECT_EQ(bd.result(i), dynamic.query(q.xl, q.xr, q.yb));
+    EXPECT_EQ(cd[i], dynamic.query_count(q.xl, q.xr, q.yb));
+    EXPECT_EQ(bc.count(i), bd.count(i));
+  }
+}
+
+TEST(QueryBatchEquality, KdTreeRangeAndNeighborBatch) {
+  auto pts = testing::random_points<2>(kN, 0xD00D);
+  auto tree = kdtree::KdTree2::build_classic(pts, 8);
+  auto boxes = box_queries(128, 0xF00D);
+  auto nnq = testing::random_points<2>(256, 0x1DEA);
+
+  auto br = tree.range_report_batch(boxes);
+  auto bc = tree.range_count_batch(boxes);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(br.result(i), tree.range_report(boxes[i]));
+    EXPECT_EQ(bc[i], tree.range_count(boxes[i]));
+    EXPECT_EQ(br.count(i), bc[i]);
+  }
+
+  const size_t k = 8;
+  auto bk = tree.knn_batch(nnq, k);
+  auto ba = tree.ann_batch(nnq, 0.0);
+  ASSERT_EQ(bk.total(), nnq.size() * k);
+  for (size_t i = 0; i < nnq.size(); ++i) {
+    EXPECT_EQ(bk.result(i), tree.knn(nnq[i], k));
+    EXPECT_EQ(ba[i], tree.ann(nnq[i], 0.0));
+    EXPECT_EQ(bk.result(i).front(), ba[i]);  // 1-NN is the exact ANN
+  }
+}
+
+TEST(QueryBatchEquality, DynamicKdStructuresRangeBatch) {
+  auto pts = testing::random_points<2>(20000, 0xFEED);
+  kdtree::DynamicKdTree<2> single;
+  for (const auto& p : pts) single.insert(p);
+  kdtree::LogForest<2> forest;
+  forest.bulk_insert(pts);
+  // Erase a slice so the dead-point filtering paths run too.
+  for (size_t i = 0; i < pts.size() / 8; ++i) {
+    ASSERT_TRUE(single.erase(pts[i]));
+    ASSERT_TRUE(forest.erase(pts[i]));
+  }
+  auto boxes = box_queries(96, 0xABBA);
+  auto nnq = testing::random_points<2>(64, 0xACDC);
+
+  auto bs = single.range_report_batch(boxes);
+  auto cs = single.range_count_batch(boxes);
+  auto bf = forest.range_report_batch(boxes);
+  auto cf = forest.range_count_batch(boxes);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(bs.result(i), single.range_report(boxes[i]));
+    EXPECT_EQ(cs[i], single.range_count(boxes[i]));
+    EXPECT_EQ(bf.result(i), forest.range_report(boxes[i]));
+    EXPECT_EQ(cf[i], forest.range_count(boxes[i]));
+    EXPECT_EQ(cs[i], cf[i]);  // same live point set
+  }
+
+  auto as = single.ann_batch(nnq);
+  auto af = forest.ann_batch(nnq);
+  for (size_t i = 0; i < nnq.size(); ++i) {
+    EXPECT_EQ(as[i], single.ann(nnq[i]));
+    EXPECT_EQ(af[i], forest.ann(nnq[i]));
+  }
+}
+
+TEST(QueryBatchEquality, BatchCountsAreScheduleIndependent) {
+  // Repeat-run determinism at whatever worker count this process has: the
+  // two-phase plan performs the same counted accesses regardless of how work
+  // stealing interleaves the per-query tasks.
+  auto ivs = fixed_intervals(20000, 0x60D);
+  auto tree = StaticIntervalTree::build_postsorted(ivs);
+  auto qs = stab_points(200, 0x90D);
+  asym::Counts c1, c2;
+  {
+    asym::Region region;
+    tree.stab_batch(qs);
+    c1 = region.delta();
+  }
+  {
+    asym::Region region;
+    tree.stab_batch(qs);
+    c2 = region.delta();
+  }
+  EXPECT_EQ(c1.reads, c2.reads);
+  EXPECT_EQ(c1.writes, c2.writes);
+}
+
+TEST(QueryBatchEquality, BatchCountsMatchSerialGolden) {
+  // Golden read/write counts captured from the serial (WEG_NUM_THREADS=1)
+  // code path. The p=2/8 reruns of this suite must charge exactly the same
+  // totals — the cross-worker-count half of the determinism contract the
+  // batch engine inherits from the parallel builds. If an algorithm's
+  // counting legitimately changes, recapture at p=1.
+  auto ivs = fixed_intervals(20000, 0x60D);
+  auto itree = StaticIntervalTree::build_postsorted(ivs);
+  auto sq = stab_points(200, 0x90D);
+  {
+    asym::Region region;
+    auto r = itree.stab_batch(sq);
+    auto c = region.delta();
+    EXPECT_GT(r.total(), 0u);
+    EXPECT_EQ(c.reads, 120768u);
+    EXPECT_EQ(c.writes, 97815u);
+  }
+
+  auto pts = testing::random_ppoints(20000, 0x60D);
+  auto rtree = StaticRangeTree::build(pts);
+  auto rq = range_queries(96, 0xE66);
+  {
+    asym::Region region;
+    auto r = rtree.query_batch(rq);
+    auto c = region.delta();
+    EXPECT_GT(r.total(), 0u);
+    EXPECT_EQ(c.reads, 47055u);
+    EXPECT_EQ(c.writes, 16979u);
+  }
+
+  auto kpts = testing::random_points<2>(20000, 0x60D);
+  auto ktree = kdtree::KdTree2::build_classic(kpts, 8);
+  auto nnq = testing::random_points<2>(128, 0xE66);
+  {
+    asym::Region region;
+    auto r = ktree.knn_batch(nnq, 8);
+    auto c = region.delta();
+    EXPECT_EQ(r.total(), 128u * 8u);
+    EXPECT_EQ(c.reads, 7319u);
+    EXPECT_EQ(c.writes, 1281u);
+  }
+}
+
+}  // namespace
+}  // namespace weg
