@@ -1,0 +1,184 @@
+// Sharded serving layer throughput: queries/sec and updates/sec versus
+// shard fanout (1/2/4/8) x batch size. The query rows broadcast one batch
+// to every shard in parallel (each shard runs the two-phase engine over its
+// subset) and merge the slices by offset arithmetic; fanout 1 is the
+// unsharded baseline, so sharding overhead / speedup is the fanout-1 row
+// over the fanout-S row at equal batch size. The commit rows measure the
+// epoch API: stage one insert batch + one erase batch, then commit (every
+// shard applies its share via bulk_insert/bulk_erase in parallel).
+// run_benches.sh records BENCH_sharded.json plus a WEG_NUM_THREADS=1
+// baseline (BENCH_sharded_serial.json) for the parallel-speedup trajectory.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/common.h"
+#include "src/augtree/interval_tree.h"
+#include "src/kdtree/dynamic.h"
+#include "src/parallel/sharded.h"
+#include "src/primitives/random.h"
+
+namespace {
+
+using namespace weg;
+using augtree::DynamicIntervalTree;
+using augtree::Interval;
+using kdtree::LogForest;
+using parallel::Sharded;
+
+constexpr size_t kIndexN = size_t{1} << 17;
+constexpr size_t kCommitN = size_t{1} << 16;
+
+Sharded<DynamicIntervalTree>& iv_index(size_t fanout) {
+  static std::unique_ptr<Sharded<DynamicIntervalTree>> cache[9];
+  auto& slot = cache[fanout];
+  if (!slot) {
+    slot = std::make_unique<Sharded<DynamicIntervalTree>>(fanout, 4);
+    slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
+  }
+  return *slot;
+}
+
+Sharded<LogForest<2>>& forest_index(size_t fanout) {
+  static std::unique_ptr<Sharded<LogForest<2>>> cache[9];
+  auto& slot = cache[fanout];
+  if (!slot) {
+    slot = std::make_unique<Sharded<LogForest<2>>>(fanout);
+    slot->bulk_insert(bench::uniform_points(kIndexN, 42));
+  }
+  return *slot;
+}
+
+std::vector<geom::Box2> make_boxes(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<geom::Box2> boxes(q);
+  for (auto& b : boxes) {
+    for (int d = 0; d < 2; ++d) {
+      b.lo[d] = rng.next_double() * 0.98;
+      b.hi[d] = b.lo[d] + 0.02;
+    }
+  }
+  return boxes;
+}
+
+std::vector<double> make_stabs(size_t q, uint64_t seed) {
+  primitives::Rng rng(seed);
+  std::vector<double> qs(q);
+  for (double& x : qs) x = rng.next_double();
+  return qs;
+}
+
+void ShardedArgs(benchmark::internal::Benchmark* b) {
+  for (int fanout : {1, 2, 4, 8}) {
+    for (int batch : {256, 4096}) b->Args({fanout, batch});
+  }
+}
+
+void BM_ShardedStabBatch(benchmark::State& state) {
+  auto& idx = iv_index(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto qs = make_stabs(q, 11);
+  for (auto _ : state) {
+    auto r = idx.stab_batch(qs);
+    benchmark::DoNotOptimize(r.total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_ShardedStabBatch)->Apply(ShardedArgs)->UseRealTime();
+
+void BM_ShardedRangeReportBatch(benchmark::State& state) {
+  auto& idx = forest_index(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto boxes = make_boxes(q, 7);
+  for (auto _ : state) {
+    auto r = idx.range_report_batch(boxes);
+    benchmark::DoNotOptimize(r.total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_ShardedRangeReportBatch)->Apply(ShardedArgs)->UseRealTime();
+
+void BM_ShardedKnnBatch(benchmark::State& state) {
+  auto& idx = forest_index(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto pts = bench::uniform_points(q, 13);
+  for (auto _ : state) {
+    auto r = idx.knn_batch(pts, 8);
+    benchmark::DoNotOptimize(r.total());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_ShardedKnnBatch)->Apply(ShardedArgs)->UseRealTime();
+
+// Epoch update throughput: each iteration is one serving epoch — stage
+// `batch` fresh inserts plus the previous iteration's batch as erasures,
+// then commit. The live size stays ~kCommitN, so iterations are comparable.
+void BM_ShardedCommitInterval(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  size_t batch = static_cast<size_t>(state.range(1));
+  Sharded<DynamicIntervalTree> idx(fanout, 4);
+  idx.bulk_insert(bench::uniform_intervals(kCommitN, 99, 0.0005));
+  uint32_t next_id = kCommitN;
+  primitives::Rng rng(17);
+  std::vector<Interval> prev;
+  for (auto _ : state) {
+    std::vector<Interval> ins(batch);
+    for (auto& iv : ins) {
+      double a = rng.next_double();
+      iv = Interval{a, a + 0.0005, next_id++};
+    }
+    for (const Interval& iv : ins) idx.stage_insert(iv);
+    for (const Interval& iv : prev) idx.stage_erase(iv);
+    idx.commit();
+    prev = std::move(ins);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * 2 * batch));
+}
+BENCHMARK(BM_ShardedCommitInterval)
+    ->Args({1, 4096})
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->UseRealTime();
+
+void BM_ShardedCommitForest(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  size_t batch = static_cast<size_t>(state.range(1));
+  Sharded<LogForest<2>> idx(fanout);
+  idx.bulk_insert(bench::uniform_points(kCommitN, 23));
+  primitives::Rng rng(29);
+  std::vector<geom::Point2> prev;
+  for (auto _ : state) {
+    std::vector<geom::Point2> ins(batch);
+    for (auto& p : ins) {
+      p = geom::Point2{{rng.next_double(), rng.next_double()}};
+    }
+    for (const auto& p : ins) idx.stage_insert(p);
+    for (const auto& p : prev) idx.stage_erase(p);
+    idx.commit();
+    prev = std::move(ins);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * 2 * batch));
+}
+BENCHMARK(BM_ShardedCommitForest)
+    ->Args({1, 4096})
+    ->Args({2, 4096})
+    ->Args({4, 4096})
+    ->Args({8, 4096})
+    ->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  weg::bench::banner(
+      "Sharded serving layer (queries/sec and updates/sec vs fanout)",
+      "Key-space sharding above the two-phase batch engine: shard-parallel "
+      "broadcast, offset-arithmetic merge, epoch-versioned bulk commits; "
+      "fanout 1 is the unsharded baseline.");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -8,10 +8,16 @@
 # All produced files are written to temporaries and moved into place
 # together, so an interrupted run never leaves a mixed-version trajectory.
 #
-# Usage:  bench/run_benches.sh [--filter <regex>] [build-dir]
+# Usage:  bench/run_benches.sh [--filter <regex>] [--benchmark-arg <arg>]
+#                              [build-dir]
 #   --filter <regex>  only run benches whose name matches (augtree, sort,
-#                     hull, delaunay, kdtree_dynamic, query_throughput); the
-#                     other BENCH files are left untouched.
+#                     hull, delaunay, kdtree_dynamic, query_throughput,
+#                     sharded); the other BENCH files are left untouched.
+#   --benchmark-arg <arg>
+#                     extra flag passed through to every bench binary
+#                     (repeatable; e.g. --benchmark-arg
+#                     '--benchmark_filter=/(64|256)(/|$)' for the CI
+#                     bench-smoke job's small-size rows).
 #   build-dir         defaults to build/release
 #
 # Exits non-zero if any requested bench binary is missing (a silently
@@ -21,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 FILTER=""
 BUILD="build/release"
+BENCH_ARGS=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --filter)
@@ -30,6 +37,15 @@ while [[ $# -gt 0 ]]; do
       ;;
     --filter=*)
       FILTER="${1#--filter=}"
+      shift
+      ;;
+    --benchmark-arg)
+      [[ $# -ge 2 ]] || { echo "--benchmark-arg needs an argument" >&2; exit 2; }
+      BENCH_ARGS+=("$2")
+      shift 2
+      ;;
+    --benchmark-arg=*)
+      BENCH_ARGS+=("${1#--benchmark-arg=}")
       shift
       ;;
     -h|--help)
@@ -51,6 +67,7 @@ BENCHES=(
   "delaunay:bench_delaunay:yes"
   "kdtree_dynamic:bench_kdtree_dynamic:yes"
   "query_throughput:bench_query_throughput:yes"
+  "sharded:bench_sharded:yes"
 )
 
 selected=()
@@ -89,7 +106,8 @@ for entry in "${selected[@]}"; do
   par="$(cut -d: -f3 <<<"$entry")"
   echo "== $name (default threads: ${WEG_NUM_THREADS:-auto}) =="
   "$BUILD/bench/$bin" \
-    --benchmark_out="$tmp/BENCH_$name.json" --benchmark_out_format=json
+    --benchmark_out="$tmp/BENCH_$name.json" --benchmark_out_format=json \
+    ${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}
   produced+=("BENCH_$name.json")
   if [[ "$par" == "yes" ]]; then
     if [[ "${WEG_NUM_THREADS:-}" == "1" ]]; then
@@ -100,7 +118,8 @@ for entry in "${selected[@]}"; do
       echo "== $name (serial baseline, WEG_NUM_THREADS=1) =="
       WEG_NUM_THREADS=1 "$BUILD/bench/$bin" \
         --benchmark_out="$tmp/BENCH_${name}_serial.json" \
-        --benchmark_out_format=json
+        --benchmark_out_format=json \
+        ${BENCH_ARGS[@]+"${BENCH_ARGS[@]}"}
     fi
     produced+=("BENCH_${name}_serial.json")
   fi

@@ -63,7 +63,9 @@ int main(int argc, char** argv) {
     // multiset, so sort indices of each by coordinates and align.
     auto order_of = [](const std::vector<geom::Point2>& pts) {
       std::vector<uint32_t> idx(pts.size());
-      for (uint32_t i = 0; i < pts.size(); ++i) idx[i] = i;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        idx[i] = static_cast<uint32_t>(i);
+      }
       std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
         return pts[a][0] < pts[b][0] ||
                (pts[a][0] == pts[b][0] && pts[a][1] < pts[b][1]);

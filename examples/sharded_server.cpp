@@ -1,0 +1,151 @@
+// Sharded serving loop: a spatial event store under continuous load, split
+// across S shards per index (src/parallel/sharded.h), serving interleaved
+// write batches and query batches through the epoch API.
+//
+// Two sharded indexes cover the same event stream:
+//   * Sharded<DynamicIntervalTree> over time spans -> "which events were
+//     active at time t?" (1D stabbing),
+//   * Sharded<LogForest<2>>        over locations  -> rectangle reports and
+//     k-nearest-event queries.
+// Each serving epoch stages a write batch (new events + expirations of the
+// oldest ones), answers query batches against the last committed version
+// while the writes are still staged, then commits — every shard applies its
+// share via bulk_insert/bulk_erase in parallel — and serves the same query
+// batches against the new version. No locks anywhere: shards are
+// independent, queries are read-only against the committed snapshot, and
+// staged updates are invisible until their commit.
+//
+//   ./examples/sharded_server [events] [fanout] [epochs]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/augtree/interval_tree.h"
+#include "src/kdtree/dynamic.h"
+#include "src/parallel/sharded.h"
+#include "src/primitives/random.h"
+
+using namespace weg;
+using augtree::DynamicIntervalTree;
+using augtree::Interval;
+using kdtree::LogForest;
+using parallel::Sharded;
+
+struct Event {
+  Interval span;       // active time span (id = event id)
+  geom::Point2 where;  // location
+};
+
+int main(int argc, char** argv) {
+  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100000;
+  size_t fanout = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  size_t epochs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 6;
+  primitives::Rng rng(2026);
+
+  auto make_event = [&](uint32_t id) {
+    Event e;
+    double t0 = rng.next_double() * 1000.0;
+    e.span = Interval{t0, t0 + rng.next_double() * 5.0, id};
+    e.where = geom::Point2{{rng.next_double(), rng.next_double()}};
+    return e;
+  };
+
+  Sharded<DynamicIntervalTree> by_time(fanout, /*alpha=*/4);
+  Sharded<LogForest<2>> by_location(fanout);
+
+  // Initial load: half the stream in one immediate bulk epoch per index.
+  std::vector<Event> live;
+  live.reserve(n);
+  uint32_t next_id = 0;
+  asym::Region load;
+  {
+    std::vector<Interval> spans;
+    std::vector<geom::Point2> wheres;
+    for (size_t i = 0; i < n / 2; ++i) {
+      Event e = make_event(next_id++);
+      live.push_back(e);
+      spans.push_back(e.span);
+      wheres.push_back(e.where);
+    }
+    by_time.bulk_insert(spans);
+    by_location.bulk_insert(wheres);
+  }
+  auto lc = load.delta();
+  std::printf(
+      "loaded %zu events into %zu shards x 2 indexes: %llu reads, "
+      "%llu writes (version %llu)\n",
+      live.size(), fanout, (unsigned long long)lc.reads,
+      (unsigned long long)lc.writes, (unsigned long long)by_time.version());
+
+  // Fixed query mix, reused every epoch so the per-epoch rows are
+  // comparable: 128 time stabs, 64 rectangles, 64 nearest-event probes.
+  std::vector<double> stabs(128);
+  for (double& t : stabs) t = rng.next_double() * 1000.0;
+  std::vector<geom::Box2> rects(64);
+  for (auto& b : rects) {
+    double x = rng.next_double() * 0.9, y = rng.next_double() * 0.9;
+    b.lo[0] = x;
+    b.hi[0] = x + 0.1;
+    b.lo[1] = y;
+    b.hi[1] = y + 0.1;
+  }
+  std::vector<geom::Point2> probes(64);
+  for (auto& p : probes) {
+    p = geom::Point2{{rng.next_double(), rng.next_double()}};
+  }
+
+  size_t batch = n / (2 * epochs) + 1;
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    asym::Region turn;
+    uint64_t named = by_time.begin_epoch();
+
+    // Stage the write batch: `batch` fresh events in, the oldest quarter of
+    // the live set out.
+    size_t expire = live.size() / 4;
+    for (size_t i = 0; i < expire; ++i) {
+      by_time.stage_erase(live[i].span);
+      by_location.stage_erase(live[i].where);
+    }
+    std::vector<Event> fresh;
+    for (size_t i = 0; i < batch; ++i) {
+      Event e = make_event(next_id++);
+      fresh.push_back(e);
+      by_time.stage_insert(e.span);
+      by_location.stage_insert(e.where);
+    }
+
+    // Serve against the previous version while the writes sit staged.
+    auto active_before = by_time.stab_count_batch(stabs);
+    size_t before_total = 0;
+    for (size_t c : active_before) before_total += c;
+
+    // Commit: every shard applies its share of the batch in parallel.
+    by_time.commit();
+    by_location.commit();
+
+    // Serve the same mix against the new version.
+    auto active = by_time.stab_count_batch(stabs);
+    auto hits = by_location.range_report_batch(rects);
+    auto nearest = by_location.knn_batch(probes, 4);
+    size_t active_total = 0;
+    for (size_t c : active) active_total += c;
+
+    live.erase(live.begin(), live.begin() + (long)expire);
+    live.insert(live.end(), fresh.begin(), fresh.end());
+    auto tc = turn.delta();
+    std::printf(
+        "epoch %llu: +%zu/-%zu events, live %zu | stab hits %zu -> %zu, "
+        "rect hits %zu, knn %zu | %llu reads, %llu writes\n",
+        (unsigned long long)named, batch, expire, live.size(), before_total,
+        active_total, hits.total(), nearest.total(),
+        (unsigned long long)tc.reads, (unsigned long long)tc.writes);
+    if (by_time.size() != live.size() || by_location.size() != live.size()) {
+      std::printf("SIZE MISMATCH: %zu vs %zu/%zu\n", live.size(),
+                  by_time.size(), by_location.size());
+      return 1;
+    }
+  }
+  std::printf("final version %llu across %zu shards, %zu live events\n",
+              (unsigned long long)by_time.version(), fanout, live.size());
+  return 0;
+}

@@ -42,7 +42,8 @@ int main(int argc, char** argv) {
   std::vector<Event> events;
   events.reserve(n);
   asym::Region ingest;
-  for (uint32_t i = 0; i < n; ++i) {
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t id = static_cast<uint32_t>(i);
     Event e;
     e.t_start = rng.next_double() * 1000.0;
     e.t_end = e.t_start + rng.next_double() * 5.0;
@@ -50,9 +51,9 @@ int main(int argc, char** argv) {
     e.y = rng.next_double();
     e.severity = rng.next_double() * 10.0;
     events.push_back(e);
-    by_time.insert(Interval{e.t_start, e.t_end, i});
-    by_location.insert(PPoint{e.x, e.y, i});
-    by_severity.insert(PPoint{e.t_start, e.severity, i});
+    by_time.insert(Interval{e.t_start, e.t_end, id});
+    by_location.insert(PPoint{e.x, e.y, id});
+    by_severity.insert(PPoint{e.t_start, e.severity, id});
   }
   auto ic = ingest.delta();
   std::printf("ingested %zu events: %llu reads, %llu writes (%.1f writes/event"
@@ -108,11 +109,12 @@ int main(int argc, char** argv) {
 
   // Retention: expire the first half of the events.
   asym::Region expiry;
-  for (uint32_t i = 0; i < n / 2; ++i) {
+  for (size_t i = 0; i < n / 2; ++i) {
+    uint32_t id = static_cast<uint32_t>(i);
     const Event& e = events[i];
-    by_time.erase(Interval{e.t_start, e.t_end, i});
-    by_location.erase(PPoint{e.x, e.y, i});
-    by_severity.erase(PPoint{e.t_start, e.severity, i});
+    by_time.erase(Interval{e.t_start, e.t_end, id});
+    by_location.erase(PPoint{e.x, e.y, id});
+    by_severity.erase(PPoint{e.t_start, e.severity, id});
   }
   auto ec = expiry.delta();
   std::printf("expired %zu events: %.1f writes/event; live: %zu/%zu/%zu\n",

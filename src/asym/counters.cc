@@ -42,8 +42,8 @@ Counts total() {
   Counts t;
   std::lock_guard<std::mutex> lk(detail::registry_mu());
   for (auto* c : detail::registry()) {
-    t.reads += c->reads;
-    t.writes += c->writes;
+    t.reads += c->reads.load(std::memory_order_relaxed);
+    t.writes += c->writes.load(std::memory_order_relaxed);
   }
   return t;
 }
@@ -51,8 +51,8 @@ Counts total() {
 void reset() {
   std::lock_guard<std::mutex> lk(detail::registry_mu());
   for (auto* c : detail::registry()) {
-    c->reads = 0;
-    c->writes = 0;
+    c->reads.store(0, std::memory_order_relaxed);
+    c->writes.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -14,6 +14,7 @@
 //    demand, so counting is cheap and exact under parallel execution.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -40,9 +41,13 @@ struct Counts {
 
 namespace detail {
 
+// Relaxed atomics, each written by its owning thread alone: the increment
+// compiles to a plain load/add/store (no lock prefix), and aggregation from
+// another thread (total() — e.g. a Region constructed on a worker thread
+// inside a sharded bulk commit) is well-defined instead of a data race.
 struct alignas(64) ThreadCounter {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
+  std::atomic<uint64_t> reads{0};
+  std::atomic<uint64_t> writes{0};
 };
 
 // Allocates and registers the calling thread's counter slot, caching it in
@@ -62,8 +67,14 @@ inline ThreadCounter& local_counter() {
 
 }  // namespace detail
 
-inline void count_read(uint64_t n = 1) { detail::local_counter().reads += n; }
-inline void count_write(uint64_t n = 1) { detail::local_counter().writes += n; }
+inline void count_read(uint64_t n = 1) {
+  std::atomic<uint64_t>& c = detail::local_counter().reads;
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
+inline void count_write(uint64_t n = 1) {
+  std::atomic<uint64_t>& c = detail::local_counter().writes;
+  c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+}
 
 // Aggregate counts over all threads that ever counted.
 Counts total();

@@ -748,6 +748,27 @@ void DynamicIntervalTree::insert(const Interval& iv) {
 }
 
 bool DynamicIntervalTree::erase(const Interval& iv) {
+  if (!erase_one(iv)) return false;
+  maybe_compact();
+  return true;
+}
+
+size_t DynamicIntervalTree::bulk_erase(const std::vector<Interval>& batch) {
+  size_t erased = 0;
+  for (const Interval& iv : batch) {
+    if (erase_one(iv)) ++erased;
+  }
+  if (erased > 0) maybe_compact();
+  return erased;
+}
+
+void DynamicIntervalTree::maybe_compact() {
+  if (dead_count_ * 2 >= node_count_ && node_count_ > 16) {
+    rebuild(root_, kNull, 0, root_init_);
+  }
+}
+
+bool DynamicIntervalTree::erase_one(const Interval& iv) {
   auto it = ivs_.find(iv.id);
   if (it == ivs_.end() || !(it->second == iv)) return false;
   uint32_t v = find_storage(iv.l, iv.r);
@@ -778,9 +799,6 @@ bool DynamicIntervalTree::erase(const Interval& iv) {
   };
   mark_dead(iv.l);
   mark_dead(iv.r);
-  if (dead_count_ * 2 >= node_count_ && node_count_ > 16) {
-    rebuild(root_, kNull, 0, root_init_);
-  }
   return true;
 }
 

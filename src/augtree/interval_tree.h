@@ -99,6 +99,11 @@ class DynamicIntervalTree {
   void insert(const Interval& iv);
   // Erases by (l, r, id); returns false if absent.
   bool erase(const Interval& iv);
+  // Batched deletion: erases every present interval of the batch, deferring
+  // the half-dead whole-tree rebuild check to the end — one compaction per
+  // batch instead of up to |ivs| piecemeal rebuilds. Returns the number of
+  // intervals actually erased.
+  size_t bulk_erase(const std::vector<Interval>& ivs);
 
   // Bulk insertion (Section 7.3.5): sorts the batch, merges the 2m endpoint
   // keys into the tree top-down — rebuilding any subtree the batch outgrows
@@ -142,6 +147,11 @@ class DynamicIntervalTree {
 
   uint32_t alloc();
   void free_subtree(uint32_t v);
+  // Erases one interval without the trailing dead-fraction rebuild check
+  // (erase and bulk_erase share it; only the compaction cadence differs).
+  bool erase_one(const Interval& iv);
+  // Whole-tree rebuild (dropping dead keys) once half the endpoints are dead.
+  void maybe_compact();
   // BST-inserts an endpoint key; appends the path root..new leaf.
   uint32_t insert_key(double key, std::vector<uint32_t>& path);
   // Storage node for [l, r]: highest node with l <= key <= r.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "src/parallel/par_build.h"
 #include "src/primitives/random.h"
@@ -89,7 +90,7 @@ void LogForest<K>::bulk_insert(const std::vector<Point>& points) {
 }
 
 template <int K>
-bool LogForest<K>::erase(const Point& p) {
+bool LogForest<K>::erase_mark(const Point& p) {
   for (Level& L : levels_) {
     if (!L.used) continue;
     size_t i = L.tree.find(p);  // O(log n) descent
@@ -99,12 +100,33 @@ bool LogForest<K>::erase(const Point& p) {
     ++L.dead;
     ++dead_;
     --live_;
-    if (dead_ * 2 >= live_ + dead_ && live_ + dead_ > 8) {
-      rebuild_from(flatten_alive());
-    }
     return true;
   }
   return false;
+}
+
+template <int K>
+void LogForest<K>::maybe_compact() {
+  if (dead_ * 2 >= live_ + dead_ && live_ + dead_ > 8) {
+    rebuild_from(flatten_alive());
+  }
+}
+
+template <int K>
+bool LogForest<K>::erase(const Point& p) {
+  if (!erase_mark(p)) return false;
+  maybe_compact();
+  return true;
+}
+
+template <int K>
+size_t LogForest<K>::bulk_erase(const std::vector<Point>& pts) {
+  size_t erased = 0;
+  for (const Point& p : pts) {
+    if (erase_mark(p)) ++erased;
+  }
+  if (erased > 0) maybe_compact();
+  return erased;
 }
 
 template <int K>
@@ -200,7 +222,9 @@ std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
       size_t idx = L.tree.ann(q, eps, qs);
       if (idx == SIZE_MAX) continue;
       double d2 = geom::squared_distance(L.tree.points()[idx], q);
-      if (d2 < best_sq) {
+      // Canonical (distance, coordinates) order on cross-level ties.
+      if (d2 < best_sq || (d2 == best_sq && best &&
+                           L.tree.points()[idx].coords < best->coords)) {
         best_sq = d2;
         best = L.tree.points()[idx];
       }
@@ -215,7 +239,8 @@ std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
         for (size_t idx : cand) {
           if (L.alive[idx]) {
             double d2 = geom::squared_distance(pts[idx], q);
-            if (d2 < best_sq) {
+            if (d2 < best_sq ||
+                (d2 == best_sq && best && pts[idx].coords < best->coords)) {
               best_sq = d2;
               best = pts[idx];
             }
@@ -229,6 +254,84 @@ std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
     }
   }
   return best;
+}
+
+template <int K>
+std::vector<std::pair<double, typename LogForest<K>::Point>>
+LogForest<K>::knn_candidates(const Point& q, size_t k, QueryStats* qs) const {
+  std::vector<std::pair<double, Point>> cand;
+  if (k == 0 || live_ == 0) return cand;
+  for (const Level& L : levels_) {
+    if (!L.used) continue;
+    const auto& pts = L.tree.points();
+    if (L.dead == 0) {
+      for (size_t idx : L.tree.knn(q, k, qs)) {
+        cand.emplace_back(geom::squared_distance(pts[idx], q), pts[idx]);
+      }
+      continue;
+    }
+    // Dead points present: enumerate with doubling k until the level yields
+    // its min(k, live-here) nearest live points (dead fraction < 1/2, so
+    // expected O(1) doubling rounds).
+    size_t live_here = pts.size() - L.dead;
+    size_t want = std::min(k, live_here);
+    if (want == 0) continue;
+    size_t kk = k;
+    while (true) {
+      auto res = L.tree.knn(q, kk, qs);
+      std::vector<size_t> live_idx;
+      for (size_t idx : res) {
+        if (L.alive[idx]) live_idx.push_back(idx);
+      }
+      if (live_idx.size() >= want || res.size() == pts.size()) {
+        for (size_t j = 0; j < want; ++j) {
+          size_t idx = live_idx[j];
+          cand.emplace_back(geom::squared_distance(pts[idx], q), pts[idx]);
+        }
+        break;
+      }
+      kk *= 2;
+    }
+  }
+  // Canonical order: (squared distance, coordinates lexicographic). Distance
+  // ties between bitwise-identical points are order-irrelevant; ties between
+  // distinct points are broken by coordinates so every fanout agrees.
+  std::sort(cand.begin(), cand.end(),
+            [](const std::pair<double, Point>& a,
+               const std::pair<double, Point>& b) {
+              if (a.first != b.first) return a.first < b.first;
+              return a.second.coords < b.second.coords;
+            });
+  size_t per = std::min(k, live_);
+  if (cand.size() > per) cand.resize(per);
+  return cand;
+}
+
+template <int K>
+std::vector<typename LogForest<K>::Point> LogForest<K>::knn(
+    const Point& q, size_t k, QueryStats* qs) const {
+  auto cand = knn_candidates(q, k, qs);
+  std::vector<Point> out;
+  out.reserve(cand.size());
+  asym::count_write(cand.size());
+  for (const auto& [d2, p] : cand) out.push_back(p);
+  return out;
+}
+
+template <int K>
+parallel::BatchResult<typename LogForest<K>::Point> LogForest<K>::knn_batch(
+    const std::vector<Point>& qs, size_t k) const {
+  // Every query returns exactly min(k, live) neighbors, so the count pass
+  // costs nothing: the slice sizes are a function of k and the forest alone.
+  size_t per = std::min(k, live_);
+  return parallel::batch_two_phase<Point>(
+      qs.size(), [&](size_t) { return per; },
+      [&](size_t i, Point* out) {
+        if (per == 0) return;
+        auto cand = knn_candidates(qs[i], k, nullptr);
+        asym::count_write(cand.size());
+        for (const auto& [d2, p] : cand) *out++ = p;
+      });
 }
 
 template <int K>
@@ -345,18 +448,10 @@ template <int K>
 void DynamicKdTree<K>::maybe_rebalance(const std::vector<uint32_t>& path) {
   // Find the highest node on the path whose children's live weights differ
   // beyond the tolerance (or with too many dead points), and reconstruct it.
-  double tol = imbalance_tolerance();
   for (uint32_t v : path) {
     const Node& nd = pool_[v];
     if (nd.is_leaf()) break;
-    uint32_t l = pool_[nd.left].live, r = pool_[nd.right].live;
-    uint32_t total_live = l + r;
-    bool unbalanced =
-        total_live > 2 * leaf_size_ &&
-        (std::max(l, r) >
-         static_cast<uint32_t>((0.5 + tol) * static_cast<double>(total_live)));
-    bool too_dead = nd.total > 2 * nd.live && nd.total > 2 * leaf_size_;
-    if (unbalanced || too_dead) {
+    if (interior_violated(nd)) {
       ++rebuilds_;
       std::vector<Point> pts;
       pts.reserve(nd.live);
@@ -451,7 +546,8 @@ void DynamicKdTree<K>::insert(const Point& p) {
 }
 
 template <int K>
-bool DynamicKdTree<K>::erase(const Point& p) {
+bool DynamicKdTree<K>::erase_mark(const Point& p,
+                                  std::vector<uint32_t>* path_out) {
   if (root_ == kNullNode) return false;
   // Recursive locate that explores both sides when p lies exactly on a
   // splitting hyperplane (partitioning does not fix the side of ties).
@@ -491,8 +587,125 @@ bool DynamicKdTree<K>::erase(const Point& p) {
     asym::count_write();
     --pool_[v].live;
   }
+  if (path_out != nullptr) *path_out = std::move(path);
+  return true;
+}
+
+template <int K>
+bool DynamicKdTree<K>::erase(const Point& p) {
+  std::vector<uint32_t> path;
+  if (!erase_mark(p, &path)) return false;
   maybe_rebalance(path);
   return true;
+}
+
+template <int K>
+void DynamicKdTree<K>::bulk_insert(const std::vector<Point>& pts) {
+  if (pts.empty()) return;
+  asym::count_read(pts.size());
+  if (root_ == kNullNode) {
+    live_ += pts.size();
+    std::vector<Point> copy = pts;
+    root_ = rebuild_subtree(copy, 0, copy.size(), 0);
+    return;
+  }
+  live_ += pts.size();
+  // Route every point to its leaf buffer, maintaining the live/total weights
+  // along the path exactly as insert() does — but with no per-element leaf
+  // split or rebalance; the single restructuring pass below repairs every
+  // violated subtree through the shared pre-claim slot path. Routing cannot
+  // allocate, so pool ids are stable and the touched flags index the pool.
+  std::vector<uint8_t> touched(pool_.size(), 0);
+  for (const Point& p : pts) {
+    uint32_t cur = root_;
+    while (true) {
+      Node& nd = pool_[cur];
+      touched[cur] = 1;
+      asym::count_read();
+      asym::count_write();  // subtree weight update
+      ++nd.live;
+      ++nd.total;
+      if (nd.is_leaf()) break;
+      cur = p[nd.dim] < nd.split ? nd.left : nd.right;
+    }
+    asym::count_write();
+    pool_[cur].leaf_pts.emplace_back(p, true);
+  }
+  root_ = restructure_rec(root_, touched);
+}
+
+template <int K>
+size_t DynamicKdTree<K>::bulk_erase(const std::vector<Point>& pts) {
+  if (root_ == kNullNode) return 0;
+  std::vector<uint8_t> touched(pool_.size(), 0);
+  size_t erased = 0;
+  std::vector<uint32_t> path;
+  for (const Point& p : pts) {
+    path.clear();
+    if (!erase_mark(p, &path)) continue;
+    ++erased;
+    for (uint32_t v : path) touched[v] = 1;
+  }
+  if (erased > 0) root_ = restructure_rec(root_, touched);
+  return erased;
+}
+
+template <int K>
+bool DynamicKdTree<K>::interior_violated(const Node& nd) const {
+  uint32_t l = pool_[nd.left].live, r = pool_[nd.right].live;
+  uint32_t total_live = l + r;
+  double tol = imbalance_tolerance();
+  bool unbalanced =
+      total_live > 2 * leaf_size_ &&
+      (std::max(l, r) >
+       static_cast<uint32_t>((0.5 + tol) * static_cast<double>(total_live)));
+  bool too_dead = nd.total > 2 * nd.live && nd.total > 2 * leaf_size_;
+  return unbalanced || too_dead;
+}
+
+template <int K>
+uint32_t DynamicKdTree<K>::restructure_rec(
+    uint32_t v, const std::vector<uint8_t>& touched) {
+  // Untouched subtree: no weight changed below it, so no check can newly
+  // fire — leave it (and its exact weights) alone.
+  if (!touched[v]) return v;
+  asym::count_read();
+  bool violated;
+  int depth = pool_[v].depth;
+  if (pool_[v].is_leaf()) {
+    violated = pool_[v].leaf_pts.size() > leaf_size_;
+  } else {
+    violated = interior_violated(pool_[v]);
+  }
+  if (violated) {
+    std::vector<Point> pts;
+    pts.reserve(pool_[v].live);
+    collect_alive(v, pts);
+    free_subtree(v);
+    ++rebuilds_;
+    if (pts.empty()) {
+      uint32_t fresh = alloc_node();  // empty leaf placeholder
+      pool_[fresh].depth = depth;
+      return fresh;
+    }
+    return rebuild_subtree(pts, 0, pts.size(), depth);
+  }
+  if (!pool_[v].is_leaf()) {
+    uint32_t l = pool_[v].left, r = pool_[v].right;
+    uint32_t nl = restructure_rec(l, touched);
+    uint32_t nr = restructure_rec(r, touched);
+    // Re-fetch through pool_ (the child rebuilds may reallocate it) and
+    // refresh the weights from the children: a descendant rebuild drops its
+    // dead points, and keeping ancestor totals exact stops the too_dead
+    // check from re-firing forever on stale counts.
+    Node& nd = pool_[v];
+    nd.left = nl;
+    nd.right = nr;
+    asym::count_write();
+    nd.live = pool_[nl].live + pool_[nr].live;
+    nd.total = pool_[nl].total + pool_[nr].total;
+  }
+  return v;
 }
 
 template <int K>
@@ -593,7 +806,10 @@ std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
         if (qs) ++qs->points_scanned;
         if (!alive) continue;
         double d2 = geom::squared_distance(pt, q);
-        if (d2 < best_sq) {
+        // Canonical (distance, coordinates) order on ties, matching the
+        // static tree's visitors and the sharded top-1 merge.
+        if (d2 < best_sq ||
+            (d2 == best_sq && best && pt.coords < best->coords)) {
           best_sq = d2;
           best = pt;
         }

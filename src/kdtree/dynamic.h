@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "src/kdtree/kdtree.h"
@@ -50,6 +51,11 @@ class LogForest {
   void bulk_insert(const std::vector<Point>& pts);
   // Removes one point equal to p; returns false if absent.
   bool erase(const Point& p);
+  // Batched deletion: marks every present point of the batch dead, deferring
+  // the half-dead forest compaction check to the end — one compaction per
+  // batch instead of up to |pts| piecemeal rebuilds. Returns the number of
+  // points actually erased.
+  size_t bulk_erase(const std::vector<Point>& pts);
 
   size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
   std::vector<Point> range_report(const Box& query,
@@ -57,6 +63,12 @@ class LogForest {
   // (1+eps)-ANN over the whole forest; returns the point itself.
   std::optional<Point> ann(const Point& q, double eps = 0.0,
                            QueryStats* qs = nullptr) const;
+  // Exact k nearest neighbors over the live points of all levels, returned
+  // as points sorted by (squared distance, coordinates) — the canonical
+  // order the sharded layer's top-k merge assumes. Always returns exactly
+  // min(k, size()) points.
+  std::vector<Point> knn(const Point& q, size_t k,
+                         QueryStats* qs = nullptr) const;
 
   // Batched queries on the shared two-phase engine.
   std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
@@ -64,6 +76,10 @@ class LogForest {
       const std::vector<Box>& qs) const;
   std::vector<std::optional<Point>> ann_batch(const std::vector<Point>& qs,
                                               double eps = 0.0) const;
+  // Flat k-NN over all queries: query i's neighbors occupy slice i; every
+  // query yields exactly min(k, size()) results, so the count pass is free.
+  parallel::BatchResult<Point> knn_batch(const std::vector<Point>& qs,
+                                         size_t k) const;
 
   size_t size() const { return live_; }
   size_t num_trees() const;
@@ -97,6 +113,17 @@ class LogForest {
   std::vector<Point> flatten_alive() const;
   void rebuild_from(std::vector<Point> pts);
   KdTree<K> build(std::vector<Point> pts);
+  // Marks one point dead without the trailing compaction check (erase and
+  // bulk_erase share it; only the compaction cadence differs).
+  bool erase_mark(const Point& p);
+  void maybe_compact();
+  // k-NN candidates as (squared distance, point), sorted by (distance,
+  // coordinates) and truncated to min(k, size()) entries. knn and knn_batch
+  // both instantiate the per-level gathering; output writes are charged by
+  // the callers.
+  std::vector<std::pair<double, Point>> knn_candidates(const Point& q,
+                                                       size_t k,
+                                                       QueryStats* qs) const;
 
   RebuildMode mode_;
   size_t leaf_size_;
@@ -119,6 +146,16 @@ class DynamicKdTree {
 
   void insert(const Point& p);
   bool erase(const Point& p);
+  // Batched insertion: routes every point to its leaf buffer first (weights
+  // maintained along the paths), then runs one top-down restructuring pass
+  // that rebuilds every violated subtree — oversized leaf buffers, imbalance
+  // beyond the mode's tolerance, dead-point majorities — through the shared
+  // pre-claim slot path (parallel::claim_build_slots via rebuild_subtree),
+  // instead of the per-element alloc-one-node leaf splits of insert().
+  void bulk_insert(const std::vector<Point>& pts);
+  // Batched deletion: marks every present point of the batch dead, then runs
+  // the same single restructuring pass. Returns the number erased.
+  size_t bulk_erase(const std::vector<Point>& pts);
 
   size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
   std::vector<Point> range_report(const Box& query,
@@ -170,6 +207,21 @@ class DynamicKdTree {
   uint32_t rebuild_subtree_ids(std::vector<Point>& pts, size_t lo, size_t hi,
                                int depth, const uint32_t* ids);
   void maybe_rebalance(const std::vector<uint32_t>& path);
+  // Marks one point dead (decrementing live weights along its path) without
+  // rebalancing; erase and the bulk paths share it.
+  bool erase_mark(const Point& p, std::vector<uint32_t>* path);
+  // The reconstruction trigger shared by maybe_rebalance (per-element) and
+  // restructure_rec (bulk): children's live weights differ beyond the
+  // mode's tolerance, or dead points outnumber live ones.
+  bool interior_violated(const Node& nd) const;
+  // Post-bulk restructuring: descends only into subtrees the bulk pass
+  // touched (touched[v] != 0 — weights elsewhere are unchanged, so no new
+  // violation is possible there), rebuilds every violated subtree via
+  // rebuild_subtree (stopping the descent there), and refreshes interior
+  // live/total weights on the way back up. Cost: O(batch * height) plus the
+  // rebuilt subtree sizes, not O(n). Returns the (possibly fresh) subtree
+  // id.
+  uint32_t restructure_rec(uint32_t v, const std::vector<uint8_t>& touched);
 
   Mode mode_;
   size_t leaf_size_;

@@ -156,38 +156,68 @@ std::vector<typename KdTree<K>::Point> KdTree<K>::range_report(
 
 namespace {
 
-// Candidate-set visitors for the shared nn_visit traversal.
+// Candidate-set visitors for the shared nn_visit traversal. Both order
+// candidates under the canonical (distance^2, coordinates-lexicographic)
+// total order: distance ties between distinct points are resolved by the
+// points themselves, not by traversal order, so the kept candidates are a
+// function of the point set alone. (The box pruning in nn_visit_rec is
+// strict — a box at exactly the bound is still explored — so every
+// distance-tied candidate reaches offer().) The sharded layer's top-k/top-1
+// merges assume exactly this order.
+template <typename Point>
 struct AnnVisitor {
   double prune_factor;  // 1/(1+eps)^2
+  const std::vector<Point>* pts;
   double best_sq = std::numeric_limits<double>::infinity();
   size_t best_idx = SIZE_MAX;
 
   double bound() const { return best_sq * prune_factor; }
   void offer(size_t i, double d2) {
-    if (d2 < best_sq) {
+    if (d2 < best_sq ||
+        (d2 == best_sq && best_idx != SIZE_MAX &&
+         (*pts)[i].coords < (*pts)[best_idx].coords)) {
       best_sq = d2;
       best_idx = i;
     }
   }
 };
 
+template <typename Point>
 struct KnnVisitor {
-  // Max-heap of (distance^2, index) of the current k best.
+  // Max-heap of (distance^2, index) of the current k best under the
+  // canonical order.
   using Entry = std::pair<double, size_t>;
+  struct Canon {
+    const std::vector<Point>* pts;
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.first != b.first) return a.first < b.first;
+      return (*pts)[a.second].coords < (*pts)[b.second].coords;
+    }
+  };
+
+  KnnVisitor(size_t k_in, const std::vector<Point>& pts)
+      : k(k_in), canon{&pts}, heap(canon) {}
+
   size_t k;
-  std::priority_queue<Entry> heap;
+  Canon canon;
+  std::priority_queue<Entry, std::vector<Entry>, Canon> heap;
 
   double bound() const {
     return heap.size() < k ? std::numeric_limits<double>::infinity()
                            : heap.top().first;
   }
   void offer(size_t i, double d2) {
-    if (d2 < bound()) {
-      heap.emplace(d2, i);
-      if (heap.size() > k) heap.pop();
+    Entry e{d2, i};
+    if (heap.size() < k) {
+      heap.push(e);
+      return;
+    }
+    if (canon(e, heap.top())) {
+      heap.push(e);
+      heap.pop();
     }
   }
-  // Drains the heap into indices sorted ascending by distance.
+  // Drains the heap into indices sorted ascending in the canonical order.
   std::vector<size_t> take_sorted() {
     std::vector<size_t> result(heap.size());
     for (size_t i = result.size(); i-- > 0;) {
@@ -202,7 +232,7 @@ struct KnnVisitor {
 
 template <int K>
 size_t KdTree<K>::ann(const Point& q, double eps, QueryStats* qs) const {
-  AnnVisitor vis{1.0 / ((1.0 + eps) * (1.0 + eps))};
+  AnnVisitor<Point> vis{1.0 / ((1.0 + eps) * (1.0 + eps)), &points_};
   nn_visit(q, vis, qs);
   return vis.best_idx;
 }
@@ -211,7 +241,7 @@ template <int K>
 std::vector<size_t> KdTree<K>::knn(const Point& q, size_t k,
                                    QueryStats* qs) const {
   if (k == 0) return {};
-  KnnVisitor vis{k, {}};
+  KnnVisitor<Point> vis(k, points_);
   nn_visit(q, vis, qs);
   return vis.take_sorted();
 }
@@ -246,7 +276,7 @@ parallel::BatchResult<size_t> KdTree<K>::knn_batch(const std::vector<Point>& qs,
       qs.size(), [&](size_t) { return per; },
       [&](size_t i, size_t* out) {
         if (per == 0) return;
-        KnnVisitor vis{k, {}};
+        KnnVisitor<Point> vis(k, points_);
         nn_visit(qs[i], vis);
         auto nn = vis.take_sorted();
         asym::count_write(nn.size());

@@ -32,6 +32,8 @@ namespace weg::parallel {
 template <typename T>
 class BatchResult {
  public:
+  using value_type = T;
+
   BatchResult() = default;
   BatchResult(std::vector<T> items, std::vector<size_t> offsets)
       : items_(std::move(items)), offsets_(std::move(offsets)) {}

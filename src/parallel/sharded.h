@@ -1,0 +1,416 @@
+// Sharded serving layer over the batched-query engine.
+//
+// Sharded<Structure> splits the key space across S independent instances of
+// one dynamic structure (fanout chosen at run time) with a per-structure
+// key extractor (ShardTraits<Structure>::route_key): every record hashes to
+// exactly one shard, so updates touch one instance and the instances share
+// no state — shard-level work fans out on the scheduler with no locking.
+//
+// Queries: every batched query family the structure exposes is re-exposed
+// here. The batch is broadcast to all S shards in parallel (each shard runs
+// the existing two-phase engine over its subset), and the per-shard
+// BatchResult slices are merged into one flat result by pure offset
+// arithmetic: merged count(q) = sum over shards of count_s(q), an exclusive
+// scan turns the counts into slice offsets, and each merged slice is filled
+// by concatenating the shard slices. Each merged slice is then put into a
+// canonical order — ascending ids for stabbing, lexicographic coordinates
+// for range reports, (distance, coordinates) for kNN/ANN — so the merged
+// result is a function of the *record set* alone: every fanout and every
+// worker count returns bitwise-identical items, and the merge's asym
+// read/write charges are bulk functions of the slice sizes (the same
+// determinism contract the per-shard engines provide). kNN/ANN merge via a
+// top-k (top-1) reduce over the per-shard candidate slices instead of plain
+// concatenation.
+//
+// Epoch API: a serving loop alternates write batches and query batches
+// without external locking by staging updates on the Sharded layer —
+// begin_epoch() names the next version, stage_insert / stage_erase buffer
+// records without touching any shard, and commit() partitions the staged
+// batch by shard, applies every shard's bulk_insert + bulk_erase in
+// parallel (insertions first, then erasures), and publishes the next
+// version. Queries issued between commits read the last committed snapshot:
+// staged records are invisible until their commit, so query batches may be
+// freely interleaved with staging. The serving loop itself sequences
+// commit() against in-flight query batches (phases, not locks); everything
+// inside a phase parallelizes on the scheduler.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/augtree/interval_tree.h"
+#include "src/geom/point.h"
+#include "src/kdtree/dynamic.h"
+#include "src/parallel/batch_query.h"
+#include "src/parallel/parallel_for.h"
+#include "src/primitives/sequence.h"
+
+namespace weg::parallel {
+
+// splitmix64 finalizer: the router's hash. Fanout is typically a small
+// power of two, so the low bits must already be well mixed.
+inline uint64_t shard_mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Per-structure key extraction: Record is the unit of update routing and
+// route_key(rec) the 64-bit key the router hashes. Erasing a record must
+// produce the same key as inserting it (routing is a pure function of the
+// record), which is all the layer needs for correctness; the hash only
+// affects balance.
+template <typename Structure>
+struct ShardTraits;
+
+template <>
+struct ShardTraits<augtree::DynamicIntervalTree> {
+  using Record = augtree::Interval;
+  static uint64_t route_key(const Record& iv) {
+    uint64_t h = shard_mix(std::bit_cast<uint64_t>(iv.l));
+    h = shard_mix(h ^ std::bit_cast<uint64_t>(iv.r));
+    return shard_mix(h ^ iv.id);
+  }
+};
+
+namespace detail {
+
+template <int K>
+struct PointRouteTraits {
+  using Record = geom::PointK<K>;
+  static uint64_t route_key(const Record& p) {
+    uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int d = 0; d < K; ++d) {
+      h = shard_mix(h ^ std::bit_cast<uint64_t>(p[d]));
+    }
+    return h;
+  }
+};
+
+// Canonical slice orders for the merge.
+struct IdLess {
+  bool operator()(uint32_t a, uint32_t b) const { return a < b; }
+};
+struct CoordLess {
+  template <typename P>
+  bool operator()(const P& a, const P& b) const {
+    return a.coords < b.coords;
+  }
+};
+
+}  // namespace detail
+
+template <int K>
+struct ShardTraits<kdtree::LogForest<K>> : detail::PointRouteTraits<K> {};
+template <int K>
+struct ShardTraits<kdtree::DynamicKdTree<K>> : detail::PointRouteTraits<K> {};
+
+template <typename Structure>
+class Sharded {
+ public:
+  using Traits = ShardTraits<Structure>;
+  using Record = typename Traits::Record;
+
+  // Constructs `fanout` shards, each as Structure(args...). Fanout 0 is
+  // clamped to 1 (the degenerate unsharded layout).
+  template <typename... Args>
+  explicit Sharded(size_t fanout, const Args&... args) {
+    if (fanout == 0) fanout = 1;
+    shards_.reserve(fanout);
+    for (size_t s = 0; s < fanout; ++s) shards_.emplace_back(args...);
+  }
+
+  size_t fanout() const { return shards_.size(); }
+  size_t shard_of(const Record& rec) const {
+    return Traits::route_key(rec) % shards_.size();
+  }
+  Structure& shard(size_t s) { return shards_[s]; }
+  const Structure& shard(size_t s) const { return shards_[s]; }
+  size_t size() const {
+    size_t total = 0;
+    for (const Structure& s : shards_) total += s.size();
+    return total;
+  }
+
+  // --- epoch-versioned updates -----------------------------------------
+
+  uint64_t version() const { return version_; }
+  size_t staged_inserts() const { return staged_ins_.size(); }
+  size_t staged_erases() const { return staged_ers_.size(); }
+  // Number of staged erasures the last commit() actually applied.
+  size_t last_commit_erased() const { return last_commit_erased_; }
+
+  // Names the epoch the next commit() will publish. Declarative: staging is
+  // buffered either way; serving loops call this to label the write batch
+  // they are filling.
+  uint64_t begin_epoch() const { return version_ + 1; }
+
+  void stage_insert(const Record& rec) { staged_ins_.push_back(rec); }
+  void stage_erase(const Record& rec) { staged_ers_.push_back(rec); }
+
+  // Applies the staged batch — every shard's share via bulk_insert then
+  // bulk_erase, all shards in parallel — and publishes the next version.
+  // A record staged for both insert and erase in one epoch is inserted,
+  // then erased: the committed snapshot does not contain it.
+  uint64_t commit() {
+    last_commit_erased_ =
+        apply_batches(partition(staged_ins_), partition(staged_ers_));
+    staged_ins_.clear();
+    staged_ers_.clear();
+    return ++version_;
+  }
+
+  // Immediate one-batch epochs: route and apply `recs` in one step and
+  // publish a version of their own. Records staged for the in-progress
+  // epoch (if any) are left staged — only commit() consumes them.
+  void bulk_insert(const std::vector<Record>& recs) {
+    apply_batches(partition(recs), {});
+    ++version_;
+  }
+  size_t bulk_erase(const std::vector<Record>& recs) {
+    size_t erased = apply_batches({}, partition(recs));
+    ++version_;
+    return erased;
+  }
+
+  // --- batched queries --------------------------------------------------
+  //
+  // All wrappers are member templates constrained on the wrapped structure
+  // actually exposing the family, so Sharded<DynamicIntervalTree> has stab
+  // entry points and Sharded<LogForest<2>> has the spatial ones.
+
+  template <typename Q>
+  auto stab_batch(const std::vector<Q>& qs) const
+    requires requires(const Structure& s) { s.stab_batch(qs); }
+  {
+    return merge_report(
+        qs.size(), [&](const Structure& s) { return s.stab_batch(qs); },
+        detail::IdLess{});
+  }
+
+  template <typename Q>
+  auto stab_count_batch(const std::vector<Q>& qs) const
+    requires requires(const Structure& s) { s.stab_count_batch(qs); }
+  {
+    return merge_count(qs.size(), [&](const Structure& s) {
+      return s.stab_count_batch(qs);
+    });
+  }
+
+  template <typename B>
+  auto range_count_batch(const std::vector<B>& qs) const
+    requires requires(const Structure& s) { s.range_count_batch(qs); }
+  {
+    return merge_count(qs.size(), [&](const Structure& s) {
+      return s.range_count_batch(qs);
+    });
+  }
+
+  template <typename B>
+  auto range_report_batch(const std::vector<B>& qs) const
+    requires requires(const Structure& s) { s.range_report_batch(qs); }
+  {
+    return merge_report(
+        qs.size(),
+        [&](const Structure& s) { return s.range_report_batch(qs); },
+        detail::CoordLess{});
+  }
+
+  // k-NN: each shard reports its min(k, shard-live) nearest candidates in
+  // the canonical (distance, coordinates) order; the merge keeps the k best
+  // per query, so the merged slice equals the unsharded structure's
+  // min(k, live) nearest in the same order.
+  template <typename P>
+  auto knn_batch(const std::vector<P>& qs, size_t k) const
+    requires requires(const Structure& s) { s.knn_batch(qs, k); }
+  {
+    using Result =
+        std::decay_t<decltype(std::declval<const Structure&>().knn_batch(
+            qs, k))>;
+    using T = typename Result::value_type;
+    auto per = run_shards([&](const Structure& s) {
+      return s.knn_batch(qs, k);
+    });
+    size_t nq = qs.size();
+    std::vector<size_t> offsets(nq + 1, 0);
+    for (size_t q = 0; q < nq; ++q) {
+      size_t total = 0;
+      for (const Result& r : per) total += r.count(q);
+      offsets[q] = std::min(k, total);
+    }
+    asym::count_read(per.size() * nq);
+    asym::count_write(nq);
+    primitives::scan_exclusive(offsets);
+    std::vector<T> items(offsets[nq]);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          std::vector<std::pair<double, T>> cand;
+          for (const Result& r : per) {
+            for (const T* it = r.begin(q); it != r.end(q); ++it) {
+              cand.emplace_back(geom::squared_distance(*it, qs[q]), *it);
+            }
+          }
+          std::sort(cand.begin(), cand.end(),
+                    [](const std::pair<double, T>& a,
+                       const std::pair<double, T>& b) {
+                      if (a.first != b.first) return a.first < b.first;
+                      return a.second.coords < b.second.coords;
+                    });
+          T* out = items.data() + offsets[q];
+          size_t take = offsets[q + 1] - offsets[q];
+          for (size_t j = 0; j < take; ++j) out[j] = cand[j].second;
+        },
+        1);
+    // Candidate gather + winner writes, charged in bulk (deterministic:
+    // slice sizes are functions of the record set and k alone).
+    size_t gathered = 0;
+    for (const Result& r : per) gathered += r.total();
+    asym::count_read(gathered);
+    asym::count_write(items.size());
+    return BatchResult<T>(std::move(items), std::move(offsets));
+  }
+
+  // ANN: top-1 reduce — the best shard answer by (distance, coordinates).
+  // Each shard answer is a (1+eps)-ANN of its subset, so the reduced answer
+  // is a (1+eps)-ANN of the union; eps = 0 gives the exact NN.
+  template <typename P>
+  auto ann_batch(const std::vector<P>& qs, double eps = 0.0) const
+    requires requires(const Structure& s) { s.ann_batch(qs, eps); }
+  {
+    auto per = run_shards([&](const Structure& s) {
+      return s.ann_batch(qs, eps);
+    });
+    using Vec = std::decay_t<decltype(per[0])>;
+    size_t nq = qs.size();
+    Vec out(nq);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          for (const Vec& v : per) {
+            if (!v[q].has_value()) continue;
+            if (!out[q].has_value()) {
+              out[q] = v[q];
+              continue;
+            }
+            double cur = geom::squared_distance(*out[q], qs[q]);
+            double alt = geom::squared_distance(*v[q], qs[q]);
+            if (alt < cur ||
+                (alt == cur && (*v[q]).coords < (*out[q]).coords)) {
+              out[q] = v[q];
+            }
+          }
+        },
+        1);
+    asym::count_read(per.size() * nq);
+    asym::count_write(nq);
+    return out;
+  }
+
+ private:
+  // Routes one record batch into per-shard sub-batches (the read + write of
+  // each record is the routing pass's bookkeeping charge).
+  std::vector<std::vector<Record>> partition(
+      const std::vector<Record>& recs) const {
+    std::vector<std::vector<Record>> by(shards_.size());
+    asym::count_read(recs.size());
+    asym::count_write(recs.size());
+    for (const Record& r : recs) by[shard_of(r)].push_back(r);
+    return by;
+  }
+
+  // Applies per-shard insert then erase sub-batches, all shards in
+  // parallel; empty outer vectors mean "no batch of that kind". Returns the
+  // total number of records actually erased.
+  size_t apply_batches(const std::vector<std::vector<Record>>& ins,
+                       const std::vector<std::vector<Record>>& ers) {
+    std::vector<size_t> erased(shards_.size(), 0);
+    parallel_for(
+        0, shards_.size(),
+        [&](size_t s) {
+          if (!ins.empty() && !ins[s].empty()) shards_[s].bulk_insert(ins[s]);
+          if (!ers.empty() && !ers[s].empty()) {
+            erased[s] = shards_[s].bulk_erase(ers[s]);
+          }
+        },
+        1);
+    size_t total = 0;
+    for (size_t e : erased) total += e;
+    return total;
+  }
+
+  // Runs one shard-level call on every shard concurrently (each call is
+  // itself parallel inside via the two-phase engine; the scheduler nests
+  // fork-join freely). Slot s is written by shard s alone.
+  template <typename Run>
+  auto run_shards(Run&& run) const {
+    using R = std::invoke_result_t<Run&, const Structure&>;
+    std::vector<R> per(shards_.size());
+    parallel_for(
+        0, shards_.size(), [&](size_t s) { per[s] = run(shards_[s]); }, 1);
+    return per;
+  }
+
+  // Counting family: merged count(q) = sum over shards.
+  template <typename Run>
+  std::vector<size_t> merge_count(size_t nq, Run&& run) const {
+    auto per = run_shards(run);
+    std::vector<size_t> out(nq, 0);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          for (const std::vector<size_t>& v : per) out[q] += v[q];
+        },
+        1);
+    asym::count_read(per.size() * nq);
+    asym::count_write(nq);
+    return out;
+  }
+
+  // Reporting family: offset-arithmetic concatenation of the shard slices,
+  // then the canonical per-slice sort.
+  template <typename Run, typename Less>
+  auto merge_report(size_t nq, Run&& run, Less less) const {
+    using Result = std::invoke_result_t<Run&, const Structure&>;
+    using T = typename Result::value_type;
+    auto per = run_shards(run);
+    std::vector<size_t> offsets(nq + 1, 0);
+    for (size_t q = 0; q < nq; ++q) {
+      for (const Result& r : per) offsets[q] += r.count(q);
+    }
+    asym::count_read(per.size() * nq);
+    asym::count_write(nq);
+    primitives::scan_exclusive(offsets);
+    std::vector<T> items(offsets[nq]);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          T* out = items.data() + offsets[q];
+          for (const Result& r : per) {
+            out = std::copy(r.begin(q), r.end(q), out);
+          }
+          std::sort(items.data() + offsets[q], out, less);
+        },
+        1);
+    // One read + write per item for the concatenation and one more pair for
+    // the canonicalizing sort pass, charged in bulk — a function of the
+    // slice sizes alone, identical at every fanout and worker count.
+    asym::count_read(2 * items.size());
+    asym::count_write(2 * items.size());
+    return BatchResult<T>(std::move(items), std::move(offsets));
+  }
+
+  std::vector<Structure> shards_;
+  std::vector<Record> staged_ins_;
+  std::vector<Record> staged_ers_;
+  uint64_t version_ = 0;
+  size_t last_commit_erased_ = 0;
+};
+
+}  // namespace weg::parallel
