@@ -1,15 +1,21 @@
 // Sharded serving layer throughput: queries/sec and updates/sec versus
-// shard fanout (1/2/4/8) x batch size. The query rows broadcast one batch
-// to every shard in parallel (each shard runs the two-phase engine over its
-// subset) and merge the slices by offset arithmetic; fanout 1 is the
-// unsharded baseline, so sharding overhead / speedup is the fanout-1 row
-// over the fanout-S row at equal batch size. The commit rows measure the
-// epoch API: stage one insert batch + one erase batch, then commit (every
-// shard applies its share via bulk_insert/bulk_erase in parallel).
-// run_benches.sh records BENCH_sharded.json plus a WEG_NUM_THREADS=1
-// baseline (BENCH_sharded_serial.json) for the parallel-speedup trajectory.
+// shard fanout (1/2/4/8) x batch size. The BM_Sharded* query rows broadcast
+// one batch to every shard in parallel (each shard runs the two-phase
+// engine over its subset) and merge the slices by offset arithmetic; the
+// BM_Planned* rows run the same batches under Routing::kRange, where the
+// shard-pruning planner routes each query only to its overlapping shards.
+// Every query row reports a shards_visited_per_query counter: broadcast
+// rows sit exactly at the fanout, planned rows below it — the gap is the
+// fan-out work the planner saves. Fanout 1 is the unsharded baseline, so
+// sharding overhead / speedup is the fanout-1 row over the fanout-S row at
+// equal batch size. The commit rows measure the epoch API: stage one insert
+// batch + one erase batch, then commit (every shard applies its share via
+// bulk_insert/bulk_erase in parallel). run_benches.sh records
+// BENCH_sharded.json plus a WEG_NUM_THREADS=1 baseline
+// (BENCH_sharded_serial.json) for the parallel-speedup trajectory.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -25,6 +31,7 @@ using namespace weg;
 using augtree::DynamicIntervalTree;
 using augtree::Interval;
 using kdtree::LogForest;
+using parallel::Routing;
 using parallel::Sharded;
 
 constexpr size_t kIndexN = size_t{1} << 17;
@@ -49,6 +56,53 @@ Sharded<LogForest<2>>& forest_index(size_t fanout) {
   }
   return *slot;
 }
+
+// Range-routed twins of the cached indexes (same record sets), for the
+// planner rows.
+Sharded<DynamicIntervalTree>& iv_index_routed(size_t fanout) {
+  static std::unique_ptr<Sharded<DynamicIntervalTree>> cache[9];
+  auto& slot = cache[fanout];
+  if (!slot) {
+    slot = std::make_unique<Sharded<DynamicIntervalTree>>(Routing::kRange,
+                                                          fanout, 4);
+    slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
+  }
+  return *slot;
+}
+
+Sharded<LogForest<2>>& forest_index_routed(size_t fanout) {
+  static std::unique_ptr<Sharded<LogForest<2>>> cache[9];
+  auto& slot = cache[fanout];
+  if (!slot) {
+    slot = std::make_unique<Sharded<LogForest<2>>>(Routing::kRange, fanout);
+    slot->bulk_insert(bench::uniform_points(kIndexN, 42));
+  }
+  return *slot;
+}
+
+// Surfaces shard visits per planned query over the timed loop: broadcast
+// rows report exactly the fanout, planner rows however many shards the
+// bounds couldn't prune.
+template <typename Index>
+class VisitCounter {
+ public:
+  explicit VisitCounter(const Index& idx)
+      : idx_(idx),
+        queries0_(idx.planner_queries()),
+        visits0_(idx.planner_shard_visits()) {}
+  void report(benchmark::State& state) const {
+    double dq = static_cast<double>(idx_.planner_queries() - queries0_);
+    if (dq > 0) {
+      state.counters["shards_visited_per_query"] =
+          static_cast<double>(idx_.planner_shard_visits() - visits0_) / dq;
+    }
+  }
+
+ private:
+  const Index& idx_;
+  uint64_t queries0_;
+  uint64_t visits0_;
+};
 
 std::vector<geom::Box2> make_boxes(size_t q, uint64_t seed) {
   primitives::Rng rng(seed);
@@ -79,37 +133,85 @@ void BM_ShardedStabBatch(benchmark::State& state) {
   auto& idx = iv_index(static_cast<size_t>(state.range(0)));
   size_t q = static_cast<size_t>(state.range(1));
   auto qs = make_stabs(q, 11);
+  VisitCounter counter(idx);
   for (auto _ : state) {
     auto r = idx.stab_batch(qs);
     benchmark::DoNotOptimize(r.total());
   }
+  counter.report(state);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
 }
 BENCHMARK(BM_ShardedStabBatch)->Apply(ShardedArgs)->UseRealTime();
+
+void BM_PlannedStabBatch(benchmark::State& state) {
+  auto& idx = iv_index_routed(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto qs = make_stabs(q, 11);
+  VisitCounter counter(idx);
+  for (auto _ : state) {
+    auto r = idx.stab_batch(qs);
+    benchmark::DoNotOptimize(r.total());
+  }
+  counter.report(state);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_PlannedStabBatch)->Apply(ShardedArgs)->UseRealTime();
 
 void BM_ShardedRangeReportBatch(benchmark::State& state) {
   auto& idx = forest_index(static_cast<size_t>(state.range(0)));
   size_t q = static_cast<size_t>(state.range(1));
   auto boxes = make_boxes(q, 7);
+  VisitCounter counter(idx);
   for (auto _ : state) {
     auto r = idx.range_report_batch(boxes);
     benchmark::DoNotOptimize(r.total());
   }
+  counter.report(state);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
 }
 BENCHMARK(BM_ShardedRangeReportBatch)->Apply(ShardedArgs)->UseRealTime();
+
+void BM_PlannedRangeReportBatch(benchmark::State& state) {
+  auto& idx = forest_index_routed(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto boxes = make_boxes(q, 7);
+  VisitCounter counter(idx);
+  for (auto _ : state) {
+    auto r = idx.range_report_batch(boxes);
+    benchmark::DoNotOptimize(r.total());
+  }
+  counter.report(state);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_PlannedRangeReportBatch)->Apply(ShardedArgs)->UseRealTime();
 
 void BM_ShardedKnnBatch(benchmark::State& state) {
   auto& idx = forest_index(static_cast<size_t>(state.range(0)));
   size_t q = static_cast<size_t>(state.range(1));
   auto pts = bench::uniform_points(q, 13);
+  VisitCounter counter(idx);
   for (auto _ : state) {
     auto r = idx.knn_batch(pts, 8);
     benchmark::DoNotOptimize(r.total());
   }
+  counter.report(state);
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
 }
 BENCHMARK(BM_ShardedKnnBatch)->Apply(ShardedArgs)->UseRealTime();
+
+void BM_PlannedKnnBatch(benchmark::State& state) {
+  auto& idx = forest_index_routed(static_cast<size_t>(state.range(0)));
+  size_t q = static_cast<size_t>(state.range(1));
+  auto pts = bench::uniform_points(q, 13);
+  VisitCounter counter(idx);
+  for (auto _ : state) {
+    auto r = idx.knn_batch(pts, 8);
+    benchmark::DoNotOptimize(r.total());
+  }
+  counter.report(state);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_PlannedKnnBatch)->Apply(ShardedArgs)->UseRealTime();
 
 // Epoch update throughput: each iteration is one serving epoch — stage
 // `batch` fresh inserts plus the previous iteration's batch as erasures,
@@ -176,8 +278,9 @@ int main(int argc, char** argv) {
   weg::bench::banner(
       "Sharded serving layer (queries/sec and updates/sec vs fanout)",
       "Key-space sharding above the two-phase batch engine: shard-parallel "
-      "broadcast, offset-arithmetic merge, epoch-versioned bulk commits; "
-      "fanout 1 is the unsharded baseline.");
+      "broadcast (BM_Sharded*) vs range-routed planner (BM_Planned*, with "
+      "shards_visited_per_query), offset-arithmetic merge, epoch-versioned "
+      "bulk commits; fanout 1 is the unsharded baseline.");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

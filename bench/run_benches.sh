@@ -12,7 +12,8 @@
 #                              [build-dir]
 #   --filter <regex>  only run benches whose name matches (augtree, sort,
 #                     hull, delaunay, kdtree_dynamic, query_throughput,
-#                     sharded); the other BENCH files are left untouched.
+#                     sharded, alpha_tradeoff); the other BENCH files are
+#                     left untouched.
 #   --benchmark-arg <arg>
 #                     extra flag passed through to every bench binary
 #                     (repeatable; e.g. --benchmark-arg
@@ -49,7 +50,10 @@ while [[ $# -gt 0 ]]; do
       shift
       ;;
     -h|--help)
-      sed -n '2,18p' "$0" | sed 's/^# \{0,1\}//'
+      # Print the whole header comment block (everything between the shebang
+      # and the first non-comment line), however long it grows.
+      awk 'NR == 1 { next } /^#/ { sub(/^# ?/, ""); print; next } { exit }' \
+        "$0"
       exit 0
       ;;
     *)
@@ -68,6 +72,7 @@ BENCHES=(
   "kdtree_dynamic:bench_kdtree_dynamic:yes"
   "query_throughput:bench_query_throughput:yes"
   "sharded:bench_sharded:yes"
+  "alpha_tradeoff:bench_alpha_tradeoff:no"
 )
 
 selected=()

@@ -15,9 +15,18 @@
 // independent, queries are read-only against the committed snapshot, and
 // staged updates are invisible until their commit.
 //
-//   ./examples/sharded_server [events] [fanout] [epochs]
+// The routing argument picks the policy for both indexes: "range" (the
+// default) partitions each key space into contiguous per-shard ranges and
+// lets the shard-pruning query planner route every query only to the shards
+// whose bounds can answer it (commit() rebalances skewed ranges); "hash"
+// spreads records uniformly and broadcasts every query batch to all shards.
+// The per-epoch rows print shards-visited-per-query so the two policies are
+// directly comparable; the results are bitwise-identical either way.
+//
+//   ./examples/sharded_server [events] [fanout] [epochs] [range|hash]
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "src/augtree/interval_tree.h"
@@ -29,6 +38,7 @@ using namespace weg;
 using augtree::DynamicIntervalTree;
 using augtree::Interval;
 using kdtree::LogForest;
+using parallel::Routing;
 using parallel::Sharded;
 
 struct Event {
@@ -40,6 +50,17 @@ int main(int argc, char** argv) {
   size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100000;
   size_t fanout = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
   size_t epochs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 6;
+  if (epochs == 0) epochs = 1;  // batch sizing divides by epochs
+  Routing routing = Routing::kRange;
+  if (argc > 4) {
+    if (std::strcmp(argv[4], "hash") == 0) {
+      routing = Routing::kHash;
+    } else if (std::strcmp(argv[4], "range") != 0) {
+      std::fprintf(stderr, "usage: %s [events] [fanout] [epochs] [range|hash]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
   primitives::Rng rng(2026);
 
   auto make_event = [&](uint32_t id) {
@@ -50,8 +71,8 @@ int main(int argc, char** argv) {
     return e;
   };
 
-  Sharded<DynamicIntervalTree> by_time(fanout, /*alpha=*/4);
-  Sharded<LogForest<2>> by_location(fanout);
+  Sharded<DynamicIntervalTree> by_time(routing, fanout, /*alpha=*/4);
+  Sharded<LogForest<2>> by_location(routing, fanout);
 
   // Initial load: half the stream in one immediate bulk epoch per index.
   std::vector<Event> live;
@@ -72,10 +93,11 @@ int main(int argc, char** argv) {
   }
   auto lc = load.delta();
   std::printf(
-      "loaded %zu events into %zu shards x 2 indexes: %llu reads, "
+      "loaded %zu events into %zu %s-routed shards x 2 indexes: %llu reads, "
       "%llu writes (version %llu)\n",
-      live.size(), fanout, (unsigned long long)lc.reads,
-      (unsigned long long)lc.writes, (unsigned long long)by_time.version());
+      live.size(), fanout, routing == Routing::kRange ? "range" : "hash",
+      (unsigned long long)lc.reads, (unsigned long long)lc.writes,
+      (unsigned long long)by_time.version());
 
   // Fixed query mix, reused every epoch so the per-epoch rows are
   // comparable: 128 time stabs, 64 rectangles, 64 nearest-event probes.
@@ -133,19 +155,29 @@ int main(int argc, char** argv) {
     live.erase(live.begin(), live.begin() + (long)expire);
     live.insert(live.end(), fresh.begin(), fresh.end());
     auto tc = turn.delta();
+    // Shards visited per routed query so far, across both indexes: the
+    // planner's selectivity (broadcast pins this at exactly `fanout`).
+    uint64_t pq = by_time.planner_queries() + by_location.planner_queries();
+    uint64_t pv =
+        by_time.planner_shard_visits() + by_location.planner_shard_visits();
     std::printf(
         "epoch %llu: +%zu/-%zu events, live %zu | stab hits %zu -> %zu, "
-        "rect hits %zu, knn %zu | %llu reads, %llu writes\n",
+        "rect hits %zu, knn %zu | %llu reads, %llu writes | "
+        "%.2f shards/query\n",
         (unsigned long long)named, batch, expire, live.size(), before_total,
         active_total, hits.total(), nearest.total(),
-        (unsigned long long)tc.reads, (unsigned long long)tc.writes);
+        (unsigned long long)tc.reads, (unsigned long long)tc.writes,
+        pq ? (double)pv / (double)pq : 0.0);
     if (by_time.size() != live.size() || by_location.size() != live.size()) {
       std::printf("SIZE MISMATCH: %zu vs %zu/%zu\n", live.size(),
                   by_time.size(), by_location.size());
       return 1;
     }
   }
-  std::printf("final version %llu across %zu shards, %zu live events\n",
-              (unsigned long long)by_time.version(), fanout, live.size());
+  std::printf(
+      "final version %llu across %zu shards, %zu live events, "
+      "%zu + %zu rebalances\n",
+      (unsigned long long)by_time.version(), fanout, live.size(),
+      by_time.rebalances(), by_location.rebalances());
   return 0;
 }

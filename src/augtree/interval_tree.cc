@@ -456,6 +456,16 @@ uint32_t DynamicIntervalTree::find_storage(double l, double r) const {
   return kNull;
 }
 
+std::vector<Interval> DynamicIntervalTree::live_records() const {
+  std::vector<std::pair<double, bool>> keys;
+  std::vector<Interval> out;
+  keys.reserve(node_count_);
+  out.reserve(live_intervals_);
+  collect(root_, keys, out);
+  asym::count_write(out.size());
+  return out;
+}
+
 void DynamicIntervalTree::collect(uint32_t v,
                                   std::vector<std::pair<double, bool>>& keys,
                                   std::vector<Interval>& out_ivs) const {

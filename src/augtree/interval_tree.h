@@ -122,6 +122,10 @@ class DynamicIntervalTree {
       const std::vector<double>& qs) const;
   std::vector<size_t> stab_count_batch(const std::vector<double>& qs) const;
 
+  // Every live interval, in deterministic in-order tree order — the record
+  // extraction hook the sharded layer's commit-time rebalancing uses.
+  std::vector<Interval> live_records() const;
+
   size_t size() const { return live_intervals_; }
   size_t num_nodes() const { return node_count_; }
   size_t rebuilds() const { return rebuilds_; }

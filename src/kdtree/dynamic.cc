@@ -376,6 +376,16 @@ void DynamicKdTree<K>::free_subtree(uint32_t v) {
 }
 
 template <int K>
+std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::live_points()
+    const {
+  std::vector<Point> out;
+  out.reserve(live_);
+  collect_alive(root_, out);
+  asym::count_write(out.size());
+  return out;
+}
+
+template <int K>
 void DynamicKdTree<K>::collect_alive(uint32_t v,
                                      std::vector<Point>& out) const {
   if (v == kNullNode) return;

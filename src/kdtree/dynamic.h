@@ -83,6 +83,9 @@ class LogForest {
 
   size_t size() const { return live_; }
   size_t num_trees() const;
+  // Every live point, level by level — the record extraction hook the
+  // sharded layer's commit-time rebalancing uses.
+  std::vector<Point> live_points() const { return flatten_alive(); }
 
  private:
   struct Level {
@@ -171,6 +174,9 @@ class DynamicKdTree {
                                               double eps = 0.0) const;
 
   size_t size() const { return live_; }
+  // Every live point, in deterministic DFS order — the record extraction
+  // hook the sharded layer's commit-time rebalancing uses.
+  std::vector<Point> live_points() const;
   size_t height() const;
   // Number of subtree reconstructions triggered so far (test/bench hook).
   size_t rebuilds() const { return rebuilds_; }

@@ -29,6 +29,10 @@ namespace weg::parallel {
 
 // Flat result of a batched reporting query: all queries' items concatenated,
 // with offsets() delimiting query i's slice as [offsets()[i], offsets()[i+1]).
+// Because a slice is addressed purely by offset arithmetic, results compose:
+// the sharded layer merges per-shard BatchResults (broadcast or
+// planner-routed sub-batches alike) by summing per-query counts, re-scanning,
+// and concatenating slices — without this class knowing about shards.
 template <typename T>
 class BatchResult {
  public:

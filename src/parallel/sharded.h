@@ -2,25 +2,50 @@
 //
 // Sharded<Structure> splits the key space across S independent instances of
 // one dynamic structure (fanout chosen at run time) with a per-structure
-// key extractor (ShardTraits<Structure>::route_key): every record hashes to
-// exactly one shard, so updates touch one instance and the instances share
-// no state — shard-level work fans out on the scheduler with no locking.
+// key extractor (ShardTraits<Structure>): every record routes to exactly
+// one shard, so updates touch one instance and the instances share no
+// state — shard-level work fans out on the scheduler with no locking.
+//
+// Routing policies (Routing ctor parameter, hash is the default):
+//  * Routing::kHash — route_key(rec) is hashed; records spread uniformly
+//    and every query batch is broadcast to all S shards.
+//  * Routing::kRange — the ordered partition key (interval left endpoint;
+//    point coordinate along ShardTraits::kSplitDim) is split into S
+//    contiguous ranges seeded from a sample of the first insert batch.
+//    Each shard tracks conservative coverage bounds [lo, hi] along the
+//    partition axis (extended on insert, never shrunk by erase, recomputed
+//    exactly on rebalance), and a planner step inside each *_batch wrapper
+//    routes every query only to the shards whose coverage can answer it:
+//    stab point in [lo, hi]; query-rectangle slab against the shard slab;
+//    kNN/ANN best-first — seed the nearest shard by slab distance, then
+//    visit every other shard whose slab distance does not exceed the
+//    current k-th (resp. best) candidate distance. The batch is semisorted
+//    by target-shard set (primitives::semisort), one targeted sub-batch is
+//    issued per shard, and the per-shard slices merge through the same
+//    offset arithmetic as the broadcast path. At commit() the layer
+//    collects per-shard load stats (live records + queries routed since
+//    the previous commit) and rebalances skewed bounds — recomputing the
+//    quantile split points over the live key set (splitting overloaded
+//    ranges, merging underused neighbors) and migrating the records whose
+//    shard changed — before publishing the version.
 //
 // Queries: every batched query family the structure exposes is re-exposed
-// here. The batch is broadcast to all S shards in parallel (each shard runs
-// the existing two-phase engine over its subset), and the per-shard
-// BatchResult slices are merged into one flat result by pure offset
-// arithmetic: merged count(q) = sum over shards of count_s(q), an exclusive
-// scan turns the counts into slice offsets, and each merged slice is filled
-// by concatenating the shard slices. Each merged slice is then put into a
-// canonical order — ascending ids for stabbing, lexicographic coordinates
-// for range reports, (distance, coordinates) for kNN/ANN — so the merged
-// result is a function of the *record set* alone: every fanout and every
-// worker count returns bitwise-identical items, and the merge's asym
-// read/write charges are bulk functions of the slice sizes (the same
+// here. Broadcast (hash) batches go to all S shards in parallel; planned
+// (range) batches go to each query's overlapping-shard set. Either way the
+// per-shard BatchResult slices are merged into one flat result by pure
+// offset arithmetic: merged count(q) = sum over visited shards of
+// count_s(q), an exclusive scan turns the counts into slice offsets, and
+// each merged slice is filled by concatenating the shard slices. Each
+// merged slice is then put into a canonical order — ascending ids for
+// stabbing, lexicographic coordinates for range reports, (distance,
+// coordinates) for kNN/ANN — so the merged result is a function of the
+// *record set* alone: every routing policy, every fanout, and every worker
+// count returns bitwise-identical items (shards a planner prunes provably
+// contribute nothing), and the merge's and planner's asym read/write
+// charges are bulk functions of the batch and slice sizes (the same
 // determinism contract the per-shard engines provide). kNN/ANN merge via a
-// top-k (top-1) reduce over the per-shard candidate slices instead of plain
-// concatenation.
+// top-k (top-1) reduce over the per-shard candidate slices instead of
+// plain concatenation.
 //
 // Epoch API: a serving loop alternates write batches and query batches
 // without external locking by staging updates on the Sharded layer —
@@ -28,17 +53,22 @@
 // records without touching any shard, and commit() partitions the staged
 // batch by shard, applies every shard's bulk_insert + bulk_erase in
 // parallel (insertions first, then erasures), and publishes the next
-// version. Queries issued between commits read the last committed snapshot:
-// staged records are invisible until their commit, so query batches may be
-// freely interleaved with staging. The serving loop itself sequences
-// commit() against in-flight query batches (phases, not locks); everything
-// inside a phase parallelizes on the scheduler.
+// version. A commit with nothing staged publishes nothing: version() is
+// unchanged. Queries issued between commits read the last committed
+// snapshot: staged records are invisible until their commit, so query
+// batches may be freely interleaved with staging. The serving loop itself
+// sequences commit() against in-flight query batches (phases, not locks);
+// everything inside a phase parallelizes on the scheduler.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
+#include <memory>
 #include <type_traits>
 #include <vector>
 
@@ -48,9 +78,15 @@
 #include "src/kdtree/dynamic.h"
 #include "src/parallel/batch_query.h"
 #include "src/parallel/parallel_for.h"
+#include "src/primitives/semisort.h"
 #include "src/primitives/sequence.h"
 
 namespace weg::parallel {
+
+// How records and queries map to shards. kHash spreads records uniformly
+// and broadcasts queries; kRange partitions the ordered key space so the
+// planner can prune shards per query.
+enum class Routing { kHash, kRange };
 
 // splitmix64 finalizer: the router's hash. Fanout is typically a small
 // power of two, so the low bits must already be well mixed.
@@ -61,11 +97,25 @@ inline uint64_t shard_mix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
-// Per-structure key extraction: Record is the unit of update routing and
-// route_key(rec) the 64-bit key the router hashes. Erasing a record must
-// produce the same key as inserting it (routing is a pure function of the
-// record), which is all the layer needs for correctness; the hash only
-// affects balance.
+// Canonical bit pattern of a float routing key. -0.0 and +0.0 compare
+// equal as doubles but differ bitwise, so hashing the raw bits would send
+// records that are equal under operator== to different shards — and a
+// staged erase of {-0.0, ...} would silently miss the {+0.0, ...} record
+// it targets. Routing must be a pure function of the record's equality
+// class, so the zero is canonicalized before std::bit_cast.
+inline uint64_t float_key_bits(double x) {
+  return std::bit_cast<uint64_t>(x == 0.0 ? 0.0 : x);
+}
+
+// Per-structure key extraction. Record is the unit of update routing;
+// route_key(rec) is the 64-bit key hash routing uses, partition_key(rec)
+// the ordered key range routing splits on, and coverage_hi(rec) how far a
+// record extends shard coverage along the partition axis (an interval
+// stored by left endpoint answers stabs up to its right endpoint).
+// extract(s) enumerates the live records for commit-time rebalancing.
+// Erasing a record must route like inserting it (routing is a pure
+// function of the record), which is all the layer needs for correctness;
+// the policy only affects balance and planner selectivity.
 template <typename Structure>
 struct ShardTraits;
 
@@ -73,9 +123,14 @@ template <>
 struct ShardTraits<augtree::DynamicIntervalTree> {
   using Record = augtree::Interval;
   static uint64_t route_key(const Record& iv) {
-    uint64_t h = shard_mix(std::bit_cast<uint64_t>(iv.l));
-    h = shard_mix(h ^ std::bit_cast<uint64_t>(iv.r));
+    uint64_t h = shard_mix(float_key_bits(iv.l));
+    h = shard_mix(h ^ float_key_bits(iv.r));
     return shard_mix(h ^ iv.id);
+  }
+  static double partition_key(const Record& iv) { return iv.l; }
+  static double coverage_hi(const Record& iv) { return iv.r; }
+  static std::vector<Record> extract(const augtree::DynamicIntervalTree& t) {
+    return t.live_records();
   }
 };
 
@@ -84,13 +139,17 @@ namespace detail {
 template <int K>
 struct PointRouteTraits {
   using Record = geom::PointK<K>;
+  // The fixed split dimension range partitioning orders points by.
+  static constexpr int kSplitDim = 0;
   static uint64_t route_key(const Record& p) {
     uint64_t h = 0x9e3779b97f4a7c15ULL;
     for (int d = 0; d < K; ++d) {
-      h = shard_mix(h ^ std::bit_cast<uint64_t>(p[d]));
+      h = shard_mix(h ^ float_key_bits(p[d]));
     }
     return h;
   }
+  static double partition_key(const Record& p) { return p[kSplitDim]; }
+  static double coverage_hi(const Record& p) { return p[kSplitDim]; }
 };
 
 // Canonical slice orders for the merge.
@@ -107,9 +166,18 @@ struct CoordLess {
 }  // namespace detail
 
 template <int K>
-struct ShardTraits<kdtree::LogForest<K>> : detail::PointRouteTraits<K> {};
+struct ShardTraits<kdtree::LogForest<K>> : detail::PointRouteTraits<K> {
+  static std::vector<geom::PointK<K>> extract(const kdtree::LogForest<K>& t) {
+    return t.live_points();
+  }
+};
 template <int K>
-struct ShardTraits<kdtree::DynamicKdTree<K>> : detail::PointRouteTraits<K> {};
+struct ShardTraits<kdtree::DynamicKdTree<K>> : detail::PointRouteTraits<K> {
+  static std::vector<geom::PointK<K>> extract(
+      const kdtree::DynamicKdTree<K>& t) {
+    return t.live_points();
+  }
+};
 
 template <typename Structure>
 class Sharded {
@@ -117,17 +185,35 @@ class Sharded {
   using Traits = ShardTraits<Structure>;
   using Record = typename Traits::Record;
 
-  // Constructs `fanout` shards, each as Structure(args...). Fanout 0 is
-  // clamped to 1 (the degenerate unsharded layout).
+  // Constructs `fanout` hash-routed shards, each as Structure(args...).
+  // Fanout 0 is clamped to 1 (the degenerate unsharded layout).
   template <typename... Args>
-  explicit Sharded(size_t fanout, const Args&... args) {
+  explicit Sharded(size_t fanout, const Args&... args)
+      : Sharded(Routing::kHash, fanout, args...) {}
+
+  // Routing-policy-selecting constructor; Routing::kHash reproduces the
+  // default behavior exactly.
+  template <typename... Args>
+  Sharded(Routing routing, size_t fanout, const Args&... args)
+      : routing_(routing) {
     if (fanout == 0) fanout = 1;
+    // Planner shard sets are 64-bit masks.
+    if (routing_ == Routing::kRange && fanout > 64) fanout = 64;
     shards_.reserve(fanout);
     for (size_t s = 0; s < fanout; ++s) shards_.emplace_back(args...);
+    cover_.assign(fanout, empty_cover());
+    queries_routed_.reset(new std::atomic<uint64_t>[fanout]);
+    for (size_t s = 0; s < fanout; ++s) {
+      queries_routed_[s].store(0, std::memory_order_relaxed);
+    }
   }
 
   size_t fanout() const { return shards_.size(); }
+  Routing routing() const { return routing_; }
   size_t shard_of(const Record& rec) const {
+    if (routing_ == Routing::kRange && bounds_built_) {
+      return shard_by_key(Traits::partition_key(rec));
+    }
     return Traits::route_key(rec) % shards_.size();
   }
   Structure& shard(size_t s) { return shards_[s]; }
@@ -136,6 +222,43 @@ class Sharded {
     size_t total = 0;
     for (const Structure& s : shards_) total += s.size();
     return total;
+  }
+
+  // --- range-partition introspection -----------------------------------
+
+  // Whether the range partition has been seeded (first non-empty insert).
+  bool bounds_built() const { return bounds_built_; }
+  // The S-1 ordered split points: shard 0 owns (-inf, splits()[0]), shard
+  // s owns [splits()[s-1], splits()[s]), shard S-1 owns the tail.
+  const std::vector<double>& splits() const { return splits_; }
+  // Commit-time rebalances performed so far.
+  size_t rebalances() const { return rebalances_; }
+
+  // Routing telemetry: queries planned and shard visits issued since
+  // construction, over every batch wrapper (broadcast batches visit all S
+  // shards per query; planned batches visit each query's overlap set).
+  // shards-visited-per-query = planner_shard_visits() / planner_queries().
+  uint64_t planner_queries() const {
+    return planner_queries_.load(std::memory_order_relaxed);
+  }
+  uint64_t planner_shard_visits() const {
+    return planner_visits_.load(std::memory_order_relaxed);
+  }
+
+  // Per-shard load since the last commit: live records now, plus query
+  // sub-batches routed to the shard. commit() consumes the query counters
+  // (they feed the rebalance trigger).
+  struct ShardLoad {
+    size_t records = 0;
+    uint64_t queries = 0;
+  };
+  std::vector<ShardLoad> load_stats() const {
+    std::vector<ShardLoad> out(shards_.size());
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      out[s] = {shards_[s].size(),
+                queries_routed_[s].load(std::memory_order_relaxed)};
+    }
+    return out;
   }
 
   // --- epoch-versioned updates -----------------------------------------
@@ -155,25 +278,37 @@ class Sharded {
   void stage_erase(const Record& rec) { staged_ers_.push_back(rec); }
 
   // Applies the staged batch — every shard's share via bulk_insert then
-  // bulk_erase, all shards in parallel — and publishes the next version.
-  // A record staged for both insert and erase in one epoch is inserted,
-  // then erased: the committed snapshot does not contain it.
+  // bulk_erase, all shards in parallel — rebalances skewed range bounds,
+  // and publishes the next version. A record staged for both insert and
+  // erase in one epoch is inserted, then erased: the committed snapshot
+  // does not contain it. A commit with nothing staged is a no-op epoch and
+  // publishes nothing: version() is unchanged.
   uint64_t commit() {
+    if (staged_ins_.empty() && staged_ers_.empty()) {
+      last_commit_erased_ = 0;
+      return version_;
+    }
+    ensure_bounds(staged_ins_);
     last_commit_erased_ =
-        apply_batches(partition(staged_ins_), partition(staged_ers_));
+        apply_batches(partition_inserts(staged_ins_), partition(staged_ers_));
     staged_ins_.clear();
     staged_ers_.clear();
+    maybe_rebalance();
     return ++version_;
   }
 
   // Immediate one-batch epochs: route and apply `recs` in one step and
   // publish a version of their own. Records staged for the in-progress
-  // epoch (if any) are left staged — only commit() consumes them.
+  // epoch (if any) are left staged — only commit() consumes them. An empty
+  // batch is a no-op and publishes no version.
   void bulk_insert(const std::vector<Record>& recs) {
-    apply_batches(partition(recs), {});
+    if (recs.empty()) return;
+    ensure_bounds(recs);
+    apply_batches(partition_inserts(recs), {});
     ++version_;
   }
   size_t bulk_erase(const std::vector<Record>& recs) {
+    if (recs.empty()) return 0;
     size_t erased = apply_batches({}, partition(recs));
     ++version_;
     return erased;
@@ -183,49 +318,103 @@ class Sharded {
   //
   // All wrappers are member templates constrained on the wrapped structure
   // actually exposing the family, so Sharded<DynamicIntervalTree> has stab
-  // entry points and Sharded<LogForest<2>> has the spatial ones.
+  // entry points and Sharded<LogForest<2>> has the spatial ones. Each
+  // wrapper broadcasts under hash routing and plans under range routing.
 
   template <typename Q>
   auto stab_batch(const std::vector<Q>& qs) const
     requires requires(const Structure& s) { s.stab_batch(qs); }
   {
-    return merge_report(
-        qs.size(), [&](const Structure& s) { return s.stab_batch(qs); },
-        detail::IdLess{});
+    if (!use_planner()) {
+      note_broadcast(qs.size());
+      return merge_report(
+          qs.size(), [&](const Structure& s) { return s.stab_batch(qs); },
+          detail::IdLess{});
+    }
+    Plan plan =
+        plan_batch(qs.size(), [&](size_t i) { return stab_mask(qs[i]); });
+    note_plan(plan, qs.size());
+    auto per = run_planned(plan, qs,
+                           [](const Structure& s, const std::vector<Q>& sub) {
+                             return s.stab_batch(sub);
+                           });
+    return merge_planned_report(plan, per, qs.size(), detail::IdLess{});
   }
 
   template <typename Q>
   auto stab_count_batch(const std::vector<Q>& qs) const
     requires requires(const Structure& s) { s.stab_count_batch(qs); }
   {
-    return merge_count(qs.size(), [&](const Structure& s) {
-      return s.stab_count_batch(qs);
-    });
+    if (!use_planner()) {
+      note_broadcast(qs.size());
+      return merge_count(qs.size(), [&](const Structure& s) {
+        return s.stab_count_batch(qs);
+      });
+    }
+    Plan plan =
+        plan_batch(qs.size(), [&](size_t i) { return stab_mask(qs[i]); });
+    note_plan(plan, qs.size());
+    auto per = run_planned(plan, qs,
+                           [](const Structure& s, const std::vector<Q>& sub) {
+                             return s.stab_count_batch(sub);
+                           });
+    return merge_planned_count(plan, per, qs.size());
   }
 
   template <typename B>
   auto range_count_batch(const std::vector<B>& qs) const
     requires requires(const Structure& s) { s.range_count_batch(qs); }
   {
-    return merge_count(qs.size(), [&](const Structure& s) {
-      return s.range_count_batch(qs);
+    if (!use_planner()) {
+      note_broadcast(qs.size());
+      return merge_count(qs.size(), [&](const Structure& s) {
+        return s.range_count_batch(qs);
+      });
+    }
+    constexpr int d0 = Traits::kSplitDim;
+    Plan plan = plan_batch(qs.size(), [&](size_t i) {
+      return slab_mask(qs[i].lo[d0], qs[i].hi[d0]);
     });
+    note_plan(plan, qs.size());
+    auto per = run_planned(plan, qs,
+                           [](const Structure& s, const std::vector<B>& sub) {
+                             return s.range_count_batch(sub);
+                           });
+    return merge_planned_count(plan, per, qs.size());
   }
 
   template <typename B>
   auto range_report_batch(const std::vector<B>& qs) const
     requires requires(const Structure& s) { s.range_report_batch(qs); }
   {
-    return merge_report(
-        qs.size(),
-        [&](const Structure& s) { return s.range_report_batch(qs); },
-        detail::CoordLess{});
+    if (!use_planner()) {
+      note_broadcast(qs.size());
+      return merge_report(
+          qs.size(),
+          [&](const Structure& s) { return s.range_report_batch(qs); },
+          detail::CoordLess{});
+    }
+    constexpr int d0 = Traits::kSplitDim;
+    Plan plan = plan_batch(qs.size(), [&](size_t i) {
+      return slab_mask(qs[i].lo[d0], qs[i].hi[d0]);
+    });
+    note_plan(plan, qs.size());
+    auto per = run_planned(plan, qs,
+                           [](const Structure& s, const std::vector<B>& sub) {
+                             return s.range_report_batch(sub);
+                           });
+    return merge_planned_report(plan, per, qs.size(), detail::CoordLess{});
   }
 
-  // k-NN: each shard reports its min(k, shard-live) nearest candidates in
-  // the canonical (distance, coordinates) order; the merge keeps the k best
-  // per query, so the merged slice equals the unsharded structure's
-  // min(k, live) nearest in the same order.
+  // k-NN: each visited shard reports its min(k, shard-live) nearest
+  // candidates in the canonical (distance, coordinates) order; the merge
+  // keeps the k best per query, so the merged slice equals the unsharded
+  // structure's min(k, live) nearest in the same order. The planner seeds
+  // each query at its nearest shard (by slab distance along the partition
+  // axis), then visits every other shard whose slab distance does not
+  // exceed the current k-th candidate distance — a pruned shard's every
+  // point is provably farther, so the routed top-k is bitwise-identical to
+  // the broadcast top-k.
   template <typename P>
   auto knn_batch(const std::vector<P>& qs, size_t k) const
     requires requires(const Structure& s) { s.knn_batch(qs, k); }
@@ -234,17 +423,93 @@ class Sharded {
         std::decay_t<decltype(std::declval<const Structure&>().knn_batch(
             qs, k))>;
     using T = typename Result::value_type;
-    auto per = run_shards([&](const Structure& s) {
-      return s.knn_batch(qs, k);
-    });
     size_t nq = qs.size();
+    if (!use_planner()) {
+      note_broadcast(nq);
+      auto per = run_shards([&](const Structure& s) {
+        return s.knn_batch(qs, k);
+      });
+      std::vector<size_t> offsets(nq + 1, 0);
+      for (size_t q = 0; q < nq; ++q) {
+        size_t total = 0;
+        for (const Result& r : per) total += r.count(q);
+        offsets[q] = std::min(k, total);
+      }
+      asym::count_read(per.size() * nq);
+      asym::count_write(nq);
+      primitives::scan_exclusive(offsets);
+      std::vector<T> items(offsets[nq]);
+      parallel_for(
+          0, nq,
+          [&](size_t q) {
+            std::vector<std::pair<double, T>> cand;
+            for (const Result& r : per) {
+              for (const T* it = r.begin(q); it != r.end(q); ++it) {
+                cand.emplace_back(geom::squared_distance(*it, qs[q]), *it);
+              }
+            }
+            top_k_into(cand, items.data() + offsets[q],
+                       offsets[q + 1] - offsets[q]);
+          },
+          1);
+      // Candidate gather + winner writes, charged in bulk (deterministic:
+      // slice sizes are functions of the record set and k alone).
+      size_t gathered = 0;
+      for (const Result& r : per) gathered += r.total();
+      asym::count_read(gathered);
+      asym::count_write(items.size());
+      return BatchResult<T>(std::move(items), std::move(offsets));
+    }
+
+    constexpr int d0 = Traits::kSplitDim;
+    // Round 1: seed each query at its nearest shard slab (ties: lowest id).
+    Plan p0 = plan_batch(nq, [&](size_t i) {
+      return nearest_shard_mask(qs[i][d0]);
+    });
+    note_plan(p0, nq);
+    auto per0 = run_planned(p0, qs,
+                            [&](const Structure& s, const std::vector<P>& sub) {
+                              return s.knn_batch(sub, k);
+                            });
+    // Current k-th candidate distance per query — infinity when the seed
+    // shard cannot supply k candidates (then no shard may be pruned).
+    std::vector<double> thr(nq, std::numeric_limits<double>::infinity());
+    for (size_t q = 0; q < nq; ++q) {
+      if (p0.entries[q].empty()) continue;
+      auto [s, j] = p0.entries[q][0];
+      if (k > 0 && per0[s].count(j) == k) {
+        thr[q] = geom::squared_distance(*(per0[s].end(j) - 1), qs[q]);
+      }
+    }
+    asym::count_read(nq);
+    asym::count_write(nq);
+    // Round 2: every other shard whose slab could still hold a candidate at
+    // or below the threshold (<=: a tied candidate can win the canonical
+    // order by coordinates).
+    Plan p1 = plan_batch(nq, [&](size_t i) {
+      uint64_t seed = nearest_shard_mask(qs[i][d0]);
+      uint64_t m = 0;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if ((seed >> s) & 1) continue;
+        if (!shard_live(s)) continue;
+        if (slab_d2(s, qs[i][d0]) <= thr[i]) m |= uint64_t{1} << s;
+      }
+      return m;
+    });
+    note_plan(p1, 0);
+    auto per1 = run_planned(p1, qs,
+                            [&](const Structure& s, const std::vector<P>& sub) {
+                              return s.knn_batch(sub, k);
+                            });
+
     std::vector<size_t> offsets(nq + 1, 0);
     for (size_t q = 0; q < nq; ++q) {
       size_t total = 0;
-      for (const Result& r : per) total += r.count(q);
+      for (auto [s, j] : p0.entries[q]) total += per0[s].count(j);
+      for (auto [s, j] : p1.entries[q]) total += per1[s].count(j);
       offsets[q] = std::min(k, total);
     }
-    asym::count_read(per.size() * nq);
+    asym::count_read(p0.visits + p1.visits);
     asym::count_write(nq);
     primitives::scan_exclusive(offsets);
     std::vector<T> items(offsets[nq]);
@@ -252,26 +517,22 @@ class Sharded {
         0, nq,
         [&](size_t q) {
           std::vector<std::pair<double, T>> cand;
-          for (const Result& r : per) {
-            for (const T* it = r.begin(q); it != r.end(q); ++it) {
-              cand.emplace_back(geom::squared_distance(*it, qs[q]), *it);
+          auto gather = [&](const Plan& plan, const std::vector<Result>& per) {
+            for (auto [s, j] : plan.entries[q]) {
+              for (const T* it = per[s].begin(j); it != per[s].end(j); ++it) {
+                cand.emplace_back(geom::squared_distance(*it, qs[q]), *it);
+              }
             }
-          }
-          std::sort(cand.begin(), cand.end(),
-                    [](const std::pair<double, T>& a,
-                       const std::pair<double, T>& b) {
-                      if (a.first != b.first) return a.first < b.first;
-                      return a.second.coords < b.second.coords;
-                    });
-          T* out = items.data() + offsets[q];
-          size_t take = offsets[q + 1] - offsets[q];
-          for (size_t j = 0; j < take; ++j) out[j] = cand[j].second;
+          };
+          gather(p0, per0);
+          gather(p1, per1);
+          top_k_into(cand, items.data() + offsets[q],
+                     offsets[q + 1] - offsets[q]);
         },
         1);
-    // Candidate gather + winner writes, charged in bulk (deterministic:
-    // slice sizes are functions of the record set and k alone).
     size_t gathered = 0;
-    for (const Result& r : per) gathered += r.total();
+    for (const Result& r : per0) gathered += r.total();
+    for (const Result& r : per1) gathered += r.total();
     asym::count_read(gathered);
     asym::count_write(items.size());
     return BatchResult<T>(std::move(items), std::move(offsets));
@@ -279,41 +540,427 @@ class Sharded {
 
   // ANN: top-1 reduce — the best shard answer by (distance, coordinates).
   // Each shard answer is a (1+eps)-ANN of its subset, so the reduced answer
-  // is a (1+eps)-ANN of the union; eps = 0 gives the exact NN.
+  // is a (1+eps)-ANN of the union; eps = 0 gives the exact NN. The planner
+  // seeds at the nearest shard and visits only shards whose slab distance
+  // does not exceed the seed answer's distance — a pruned shard's answer
+  // would lose the reduce, so the routed answer equals the broadcast one.
   template <typename P>
   auto ann_batch(const std::vector<P>& qs, double eps = 0.0) const
     requires requires(const Structure& s) { s.ann_batch(qs, eps); }
   {
-    auto per = run_shards([&](const Structure& s) {
-      return s.ann_batch(qs, eps);
-    });
-    using Vec = std::decay_t<decltype(per[0])>;
+    using Vec =
+        std::decay_t<decltype(std::declval<const Structure&>().ann_batch(
+            qs, eps))>;
     size_t nq = qs.size();
+    auto better = [&](const typename Vec::value_type& alt,
+                      const typename Vec::value_type& cur, const P& q) {
+      if (!alt.has_value()) return false;
+      if (!cur.has_value()) return true;
+      double da = geom::squared_distance(*alt, q);
+      double dc = geom::squared_distance(*cur, q);
+      return da < dc || (da == dc && (*alt).coords < (*cur).coords);
+    };
+    if (!use_planner()) {
+      note_broadcast(nq);
+      auto per = run_shards([&](const Structure& s) {
+        return s.ann_batch(qs, eps);
+      });
+      Vec out(nq);
+      parallel_for(
+          0, nq,
+          [&](size_t q) {
+            for (const Vec& v : per) {
+              if (better(v[q], out[q], qs[q])) out[q] = v[q];
+            }
+          },
+          1);
+      asym::count_read(per.size() * nq);
+      asym::count_write(nq);
+      return out;
+    }
+
+    constexpr int d0 = Traits::kSplitDim;
+    Plan p0 = plan_batch(nq, [&](size_t i) {
+      return nearest_shard_mask(qs[i][d0]);
+    });
+    note_plan(p0, nq);
+    auto per0 = run_planned(p0, qs,
+                            [&](const Structure& s, const std::vector<P>& sub) {
+                              return s.ann_batch(sub, eps);
+                            });
+    std::vector<double> thr(nq, std::numeric_limits<double>::infinity());
+    for (size_t q = 0; q < nq; ++q) {
+      if (p0.entries[q].empty()) continue;
+      auto [s, j] = p0.entries[q][0];
+      if (per0[s][j].has_value()) {
+        thr[q] = geom::squared_distance(*per0[s][j], qs[q]);
+      }
+    }
+    asym::count_read(nq);
+    asym::count_write(nq);
+    Plan p1 = plan_batch(nq, [&](size_t i) {
+      uint64_t seed = nearest_shard_mask(qs[i][d0]);
+      uint64_t m = 0;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if ((seed >> s) & 1) continue;
+        if (!shard_live(s)) continue;
+        if (slab_d2(s, qs[i][d0]) <= thr[i]) m |= uint64_t{1} << s;
+      }
+      return m;
+    });
+    note_plan(p1, 0);
+    auto per1 = run_planned(p1, qs,
+                            [&](const Structure& s, const std::vector<P>& sub) {
+                              return s.ann_batch(sub, eps);
+                            });
     Vec out(nq);
     parallel_for(
         0, nq,
         [&](size_t q) {
-          for (const Vec& v : per) {
-            if (!v[q].has_value()) continue;
-            if (!out[q].has_value()) {
-              out[q] = v[q];
-              continue;
-            }
-            double cur = geom::squared_distance(*out[q], qs[q]);
-            double alt = geom::squared_distance(*v[q], qs[q]);
-            if (alt < cur ||
-                (alt == cur && (*v[q]).coords < (*out[q]).coords)) {
-              out[q] = v[q];
-            }
+          for (auto [s, j] : p0.entries[q]) {
+            if (better(per0[s][j], out[q], qs[q])) out[q] = per0[s][j];
+          }
+          for (auto [s, j] : p1.entries[q]) {
+            if (better(per1[s][j], out[q], qs[q])) out[q] = per1[s][j];
           }
         },
         1);
-    asym::count_read(per.size() * nq);
+    asym::count_read(p0.visits + p1.visits);
     asym::count_write(nq);
     return out;
   }
 
  private:
+  // Conservative per-shard data coverage along the partition axis.
+  struct Cover {
+    double lo = 0;
+    double hi = 0;
+  };
+  static Cover empty_cover() {
+    return {std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+  }
+
+  bool use_planner() const {
+    return routing_ == Routing::kRange && bounds_built_;
+  }
+  bool shard_live(size_t s) const { return shards_[s].size() > 0; }
+
+  size_t shard_by_key(double key) const {
+    return static_cast<size_t>(
+        std::upper_bound(splits_.begin(), splits_.end(), key) -
+        splits_.begin());
+  }
+
+  // --- planner predicates over the coverage bounds ---------------------
+
+  uint64_t stab_mask(double x) const {
+    uint64_t m = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_live(s) && cover_[s].lo <= x && x <= cover_[s].hi) {
+        m |= uint64_t{1} << s;
+      }
+    }
+    return m;
+  }
+
+  uint64_t slab_mask(double qlo, double qhi) const {
+    uint64_t m = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_live(s) && qlo <= cover_[s].hi && qhi >= cover_[s].lo) {
+        m |= uint64_t{1} << s;
+      }
+    }
+    return m;
+  }
+
+  // Lower bound on the squared distance from x (along the partition axis)
+  // to any point of shard s.
+  double slab_d2(size_t s, double x) const {
+    const Cover& c = cover_[s];
+    double diff = std::max({c.lo - x, 0.0, x - c.hi});
+    return diff * diff;
+  }
+
+  uint64_t nearest_shard_mask(double x) const {
+    size_t best = shards_.size();
+    double best_d2 = std::numeric_limits<double>::infinity();
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!shard_live(s)) continue;
+      double d2 = slab_d2(s, x);
+      if (d2 < best_d2) {
+        best_d2 = d2;
+        best = s;
+      }
+    }
+    return best == shards_.size() ? 0 : uint64_t{1} << best;
+  }
+
+  // --- the plan ---------------------------------------------------------
+
+  // A routed batch: per shard, the (deterministic) list of query indices
+  // it must answer; per query, the (shard, sub-batch position) slots where
+  // its per-shard answers land. Built by semisorting the batch by
+  // target-shard mask, so queries sharing a shard set are contiguous and
+  // each group is emitted into its shards' sub-batches in one run.
+  struct Plan {
+    std::vector<std::vector<uint32_t>> shard_queries;
+    std::vector<std::vector<std::pair<uint32_t, uint32_t>>> entries;
+    size_t visits = 0;
+  };
+
+  template <typename MaskFn>
+  Plan plan_batch(size_t nq, MaskFn&& mask_of) const {
+    size_t S = shards_.size();
+    struct QM {
+      uint32_t q;
+      uint64_t mask;
+    };
+    std::vector<QM> qm(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      qm[i].q = static_cast<uint32_t>(i);
+      qm[i].mask = mask_of(i);
+    }
+    // Planner bookkeeping is bulk-charged: every query tests every shard's
+    // bounds (nq * S reads, nq mask writes), and each (query, shard)
+    // routing slot is written once (visits reads + writes below) — all
+    // functions of the batch and the bounds alone, identical at every
+    // worker count.
+    asym::count_read(nq * S);
+    asym::count_write(nq);
+    auto groups =
+        primitives::semisort_by(qm, [](const QM& x) { return x.mask; });
+    Plan plan;
+    plan.shard_queries.assign(S, {});
+    plan.entries.assign(nq, {});
+    for (size_t g = 0; g + 1 < groups.size(); ++g) {
+      uint64_t mask = qm[groups[g]].mask;
+      if (mask == 0) continue;
+      for (size_t s = 0; s < S; ++s) {
+        if (!((mask >> s) & 1)) continue;
+        for (size_t i = groups[g]; i < groups[g + 1]; ++i) {
+          plan.entries[qm[i].q].push_back(
+              {static_cast<uint32_t>(s),
+               static_cast<uint32_t>(plan.shard_queries[s].size())});
+          plan.shard_queries[s].push_back(qm[i].q);
+        }
+      }
+      plan.visits += static_cast<size_t>(std::popcount(mask)) *
+                     (groups[g + 1] - groups[g]);
+    }
+    asym::count_read(plan.visits);
+    asym::count_write(plan.visits);
+    return plan;
+  }
+
+  void note_plan(const Plan& plan, size_t new_queries) const {
+    planner_visits_.fetch_add(plan.visits, std::memory_order_relaxed);
+    if (new_queries > 0) {
+      planner_queries_.fetch_add(new_queries, std::memory_order_relaxed);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (!plan.shard_queries[s].empty()) {
+        queries_routed_[s].fetch_add(plan.shard_queries[s].size(),
+                                     std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void note_broadcast(size_t nq) const {
+    if (nq == 0) return;
+    planner_visits_.fetch_add(nq * shards_.size(),
+                              std::memory_order_relaxed);
+    planner_queries_.fetch_add(nq, std::memory_order_relaxed);
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      queries_routed_[s].fetch_add(nq, std::memory_order_relaxed);
+    }
+  }
+
+  // Runs one targeted sub-batch per visited shard, all shards in parallel
+  // (each call is itself parallel inside via the two-phase engine). Slot s
+  // is written by shard s alone; unvisited shards keep a default result.
+  template <typename Q, typename RunSub>
+  auto run_planned(const Plan& plan, const std::vector<Q>& qs,
+                   RunSub&& run) const {
+    using R =
+        std::invoke_result_t<RunSub&, const Structure&, const std::vector<Q>&>;
+    std::vector<R> per(shards_.size());
+    parallel_for(
+        0, shards_.size(),
+        [&](size_t s) {
+          const std::vector<uint32_t>& qidx = plan.shard_queries[s];
+          if (qidx.empty()) return;
+          std::vector<Q> sub(qidx.size());
+          for (size_t j = 0; j < qidx.size(); ++j) sub[j] = qs[qidx[j]];
+          per[s] = run(shards_[s], sub);
+        },
+        1);
+    return per;
+  }
+
+  template <typename Result, typename Less>
+  auto merge_planned_report(const Plan& plan, const std::vector<Result>& per,
+                            size_t nq, Less less) const {
+    using T = typename Result::value_type;
+    std::vector<size_t> offsets(nq + 1, 0);
+    for (size_t q = 0; q < nq; ++q) {
+      for (auto [s, j] : plan.entries[q]) offsets[q] += per[s].count(j);
+    }
+    asym::count_read(plan.visits);
+    asym::count_write(nq);
+    primitives::scan_exclusive(offsets);
+    std::vector<T> items(offsets[nq]);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          T* out = items.data() + offsets[q];
+          for (auto [s, j] : plan.entries[q]) {
+            out = std::copy(per[s].begin(j), per[s].end(j), out);
+          }
+          std::sort(items.data() + offsets[q], out, less);
+        },
+        1);
+    // One read + write per item for the concatenation and one more pair for
+    // the canonicalizing sort pass, charged in bulk — a function of the
+    // slice sizes alone, identical at every fanout and worker count.
+    asym::count_read(2 * items.size());
+    asym::count_write(2 * items.size());
+    return BatchResult<T>(std::move(items), std::move(offsets));
+  }
+
+  std::vector<size_t> merge_planned_count(
+      const Plan& plan, const std::vector<std::vector<size_t>>& per,
+      size_t nq) const {
+    std::vector<size_t> out(nq, 0);
+    parallel_for(
+        0, nq,
+        [&](size_t q) {
+          for (auto [s, j] : plan.entries[q]) out[q] += per[s][j];
+        },
+        1);
+    asym::count_read(plan.visits);
+    asym::count_write(nq);
+    return out;
+  }
+
+  // Canonical top-k: `take` winners of (squared distance, coordinates).
+  template <typename T>
+  static void top_k_into(std::vector<std::pair<double, T>>& cand, T* out,
+                         size_t take) {
+    std::sort(cand.begin(), cand.end(),
+              [](const std::pair<double, T>& a, const std::pair<double, T>& b) {
+                if (a.first != b.first) return a.first < b.first;
+                return a.second.coords < b.second.coords;
+              });
+    for (size_t j = 0; j < take; ++j) out[j] = cand[j].second;
+  }
+
+  // --- range bounds and rebalancing ------------------------------------
+
+  // Equally-spaced quantiles of a sorted key sample become the S-1 split
+  // points.
+  void set_splits(const std::vector<double>& sorted_keys) {
+    size_t S = shards_.size();
+    splits_.assign(S - 1, 0.0);
+    for (size_t s = 1; s < S; ++s) {
+      splits_[s - 1] = sorted_keys[s * sorted_keys.size() / S];
+    }
+  }
+
+  // Seeds the range partition from the first non-empty insert batch: a
+  // deterministic evenly-strided sample of its partition keys, sorted, cut
+  // at quantiles. Commit-time rebalancing corrects the seed as the record
+  // set evolves.
+  void ensure_bounds(const std::vector<Record>& recs) {
+    if (routing_ != Routing::kRange || bounds_built_ || recs.empty()) return;
+    size_t n = recs.size();
+    size_t sample = std::min<size_t>(n, 4096);
+    std::vector<double> keys(sample);
+    for (size_t i = 0; i < sample; ++i) {
+      keys[i] = Traits::partition_key(recs[i * n / sample]);
+    }
+    std::sort(keys.begin(), keys.end());
+    set_splits(keys);
+    bounds_built_ = true;
+    asym::count_read(sample);
+    asym::count_write(splits_.size() + 1);
+  }
+
+  void extend_cover(size_t s, const Record& r) {
+    Cover& c = cover_[s];
+    c.lo = std::min(c.lo, Traits::partition_key(r));
+    c.hi = std::max(c.hi, Traits::coverage_hi(r));
+  }
+
+  static constexpr uint64_t kRebalanceSlack = 64;
+
+  // Commit-time load balancing (range policy): per-shard load = live
+  // records + queries routed since the previous commit. When the heaviest
+  // shard exceeds twice the mean load (plus slack so tiny sets never
+  // thrash), the split points are recomputed as exact quantiles of the
+  // live key set — the general form of splitting overloaded ranges and
+  // merging underused neighbors — coverage is recomputed exactly, and the
+  // records whose shard assignment changed migrate (each shard erases its
+  // leavers and inserts its enterers; the sets are disjoint, so shards
+  // migrate in parallel).
+  void maybe_rebalance() {
+    size_t S = shards_.size();
+    std::vector<uint64_t> queries(S);
+    for (size_t s = 0; s < S; ++s) {
+      queries[s] = queries_routed_[s].exchange(0, std::memory_order_relaxed);
+    }
+    if (routing_ != Routing::kRange || !bounds_built_ || S == 1) return;
+    uint64_t total = 0, max_load = 0;
+    for (size_t s = 0; s < S; ++s) {
+      uint64_t load = shards_[s].size() + queries[s];
+      total += load;
+      max_load = std::max(max_load, load);
+    }
+    if (max_load <= 2 * (total / S) + kRebalanceSlack) return;
+
+    std::vector<std::vector<Record>> recs(S);
+    parallel_for(
+        0, S, [&](size_t s) { recs[s] = Traits::extract(shards_[s]); }, 1);
+    size_t n = 0;
+    for (const std::vector<Record>& v : recs) n += v.size();
+    if (n == 0) return;
+    std::vector<double> keys;
+    keys.reserve(n);
+    for (const std::vector<Record>& v : recs) {
+      for (const Record& r : v) keys.push_back(Traits::partition_key(r));
+    }
+    std::sort(keys.begin(), keys.end());
+    asym::count_read(n);
+    asym::count_write(n);
+    std::vector<double> old = splits_;
+    set_splits(keys);
+    if (splits_ == old) return;  // degenerate keys: re-splitting is a no-op
+
+    for (Cover& c : cover_) c = empty_cover();
+    std::vector<std::vector<Record>> leave(S), enter(S);
+    for (size_t s = 0; s < S; ++s) {
+      for (const Record& r : recs[s]) {
+        size_t ns = shard_by_key(Traits::partition_key(r));
+        extend_cover(ns, r);
+        if (ns != s) {
+          leave[s].push_back(r);
+          enter[ns].push_back(r);
+        }
+      }
+    }
+    asym::count_read(n);
+    parallel_for(
+        0, S,
+        [&](size_t s) {
+          if (!leave[s].empty()) shards_[s].bulk_erase(leave[s]);
+          if (!enter[s].empty()) shards_[s].bulk_insert(enter[s]);
+        },
+        1);
+    ++rebalances_;
+  }
+
+  // --- update routing ---------------------------------------------------
+
   // Routes one record batch into per-shard sub-batches (the read + write of
   // each record is the routing pass's bookkeeping charge).
   std::vector<std::vector<Record>> partition(
@@ -322,6 +969,21 @@ class Sharded {
     asym::count_read(recs.size());
     asym::count_write(recs.size());
     for (const Record& r : recs) by[shard_of(r)].push_back(r);
+    return by;
+  }
+
+  // Insert-side partition: also extends each target shard's conservative
+  // coverage (the bounds the planner prunes with).
+  std::vector<std::vector<Record>> partition_inserts(
+      const std::vector<Record>& recs) {
+    auto by = partition(recs);
+    if (routing_ == Routing::kRange && bounds_built_ && !recs.empty()) {
+      for (size_t s = 0; s < by.size(); ++s) {
+        for (const Record& r : by[s]) extend_cover(s, r);
+      }
+      asym::count_read(recs.size());
+      asym::count_write(by.size());
+    }
     return by;
   }
 
@@ -407,10 +1069,23 @@ class Sharded {
   }
 
   std::vector<Structure> shards_;
+  Routing routing_ = Routing::kHash;
   std::vector<Record> staged_ins_;
   std::vector<Record> staged_ers_;
   uint64_t version_ = 0;
   size_t last_commit_erased_ = 0;
+
+  // Range-partition state (kRange only).
+  bool bounds_built_ = false;
+  std::vector<double> splits_;
+  std::vector<Cover> cover_;
+  size_t rebalances_ = 0;
+
+  // Routing telemetry. Relaxed atomics: query wrappers are const and may
+  // run concurrently; the counters are stats, not asym charges.
+  mutable std::atomic<uint64_t> planner_queries_{0};
+  mutable std::atomic<uint64_t> planner_visits_{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> queries_routed_;
 };
 
 }  // namespace weg::parallel

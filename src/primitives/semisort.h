@@ -98,7 +98,9 @@ void radix_sort(std::vector<T>& records, uint64_t range, KeyFn key) {
 // Groups records by an arbitrary integer key (not necessarily bounded):
 // semisort per [34]. Keys are hashed into ~2n buckets; each bucket is then
 // locally grouped by exact key. Returns (records permuted so equal keys are
-// adjacent, group start offsets).
+// adjacent, group start offsets). Clients include the incremental-round
+// point delivery and the sharded layer's query planner (key = the query's
+// target-shard bitmask, so queries sharing a shard set form one group).
 template <typename T, typename KeyFn>
 std::vector<size_t> semisort_by(std::vector<T>& records, KeyFn key) {
   size_t n = records.size();
@@ -132,13 +134,8 @@ std::vector<size_t> semisort_by(std::vector<T>& records, KeyFn key) {
   }
   asym::count_read(n);
   for (size_t i = 0; i < n; ++i) {
-    if (i == 0 || key(records[i]) != key(records[i - 1]) ||
-        // hash-bucket boundary also starts a new group even on (impossible
-        // for integer keys) equal keys across buckets
-        false) {
-      if (i == 0 || key(records[i]) != key(records[i - 1])) {
-        group_starts.push_back(i);
-      }
+    if (i == 0 || key(records[i]) != key(records[i - 1])) {
+      group_starts.push_back(i);
     }
   }
   group_starts.push_back(n);
