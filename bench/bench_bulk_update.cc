@@ -18,7 +18,7 @@ void BM_BulkInsert(benchmark::State& state) {
     augtree::DynamicIntervalTree t(4);
     for (auto& iv : base) t.insert(iv);
     asym::Region r;
-    t.bulk_insert(batch);
+    (void)t.bulk_insert(batch);
     cost = r.delta();
   }
   bench::report_cost(state, cost, double(m));

@@ -42,7 +42,7 @@ Sharded<DynamicIntervalTree>& iv_index(size_t fanout) {
   auto& slot = cache[fanout];
   if (!slot) {
     slot = std::make_unique<Sharded<DynamicIntervalTree>>(fanout, 4);
-    slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
+    (void)slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
   }
   return *slot;
 }
@@ -52,7 +52,7 @@ Sharded<LogForest<2>>& forest_index(size_t fanout) {
   auto& slot = cache[fanout];
   if (!slot) {
     slot = std::make_unique<Sharded<LogForest<2>>>(fanout);
-    slot->bulk_insert(bench::uniform_points(kIndexN, 42));
+    (void)slot->bulk_insert(bench::uniform_points(kIndexN, 42));
   }
   return *slot;
 }
@@ -65,7 +65,7 @@ Sharded<DynamicIntervalTree>& iv_index_routed(size_t fanout) {
   if (!slot) {
     slot = std::make_unique<Sharded<DynamicIntervalTree>>(Routing::kRange,
                                                           fanout, 4);
-    slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
+    (void)slot->bulk_insert(bench::uniform_intervals(kIndexN, 43, 0.0005));
   }
   return *slot;
 }
@@ -75,7 +75,7 @@ Sharded<LogForest<2>>& forest_index_routed(size_t fanout) {
   auto& slot = cache[fanout];
   if (!slot) {
     slot = std::make_unique<Sharded<LogForest<2>>>(Routing::kRange, fanout);
-    slot->bulk_insert(bench::uniform_points(kIndexN, 42));
+    (void)slot->bulk_insert(bench::uniform_points(kIndexN, 42));
   }
   return *slot;
 }
@@ -220,7 +220,7 @@ void BM_ShardedCommitInterval(benchmark::State& state) {
   size_t fanout = static_cast<size_t>(state.range(0));
   size_t batch = static_cast<size_t>(state.range(1));
   Sharded<DynamicIntervalTree> idx(fanout, 4);
-  idx.bulk_insert(bench::uniform_intervals(kCommitN, 99, 0.0005));
+  (void)idx.bulk_insert(bench::uniform_intervals(kCommitN, 99, 0.0005));
   uint32_t next_id = kCommitN;
   primitives::Rng rng(17);
   std::vector<Interval> prev;
@@ -232,7 +232,7 @@ void BM_ShardedCommitInterval(benchmark::State& state) {
     }
     for (const Interval& iv : ins) idx.stage_insert(iv);
     for (const Interval& iv : prev) idx.stage_erase(iv);
-    idx.commit();
+    (void)idx.commit();
     prev = std::move(ins);
   }
   state.SetItemsProcessed(
@@ -249,7 +249,7 @@ void BM_ShardedCommitForest(benchmark::State& state) {
   size_t fanout = static_cast<size_t>(state.range(0));
   size_t batch = static_cast<size_t>(state.range(1));
   Sharded<LogForest<2>> idx(fanout);
-  idx.bulk_insert(bench::uniform_points(kCommitN, 23));
+  (void)idx.bulk_insert(bench::uniform_points(kCommitN, 23));
   primitives::Rng rng(29);
   std::vector<geom::Point2> prev;
   for (auto _ : state) {
@@ -259,7 +259,7 @@ void BM_ShardedCommitForest(benchmark::State& state) {
     }
     for (const auto& p : ins) idx.stage_insert(p);
     for (const auto& p : prev) idx.stage_erase(p);
-    idx.commit();
+    (void)idx.commit();
     prev = std::move(ins);
   }
   state.SetItemsProcessed(

@@ -23,7 +23,14 @@
 // The per-epoch rows print shards-visited-per-query so the two policies are
 // directly comparable; the results are bitwise-identical either way.
 //
+// After the serving loop, a fault-injection demo (compiled only when
+// WEG_FAULT_INJECTION is on) arms a shard_apply fault, attempts a commit,
+// and shows the transactional contract: the commit fails, the version does
+// not move, the query results are unchanged, and retrying the same staged
+// batch with the fault disarmed succeeds.
+//
 //   ./examples/sharded_server [events] [fanout] [epochs] [range|hash]
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -31,6 +38,7 @@
 
 #include "src/augtree/interval_tree.h"
 #include "src/kdtree/dynamic.h"
+#include "src/parallel/fault.h"
 #include "src/parallel/sharded.h"
 #include "src/primitives/random.h"
 
@@ -46,19 +54,46 @@ struct Event {
   geom::Point2 where;  // location
 };
 
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [events] [fanout] [epochs] [range|hash]\n"
+               "  events >= 1, fanout in [1, 64], epochs >= 1\n",
+               prog);
+  return 2;
+}
+
+// Strict decimal parse: rejects empty strings, signs, trailing junk, and
+// out-of-range values instead of silently truncating them to 0.
+bool parse_size(const char* s, size_t* out) {
+  if (s == nullptr || *s == '\0' || *s == '-' || *s == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 100000;
-  size_t fanout = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
-  size_t epochs = argc > 3 ? std::strtoul(argv[3], nullptr, 10) : 6;
-  if (epochs == 0) epochs = 1;  // batch sizing divides by epochs
+  size_t n = 100000, fanout = 4, epochs = 6;
+  if (argc > 1 && (!parse_size(argv[1], &n) || n == 0)) return usage(argv[0]);
+  if (argc > 2 && (!parse_size(argv[2], &fanout) || fanout == 0 ||
+                   fanout > 64)) {
+    return usage(argv[0]);
+  }
+  if (argc > 3 && (!parse_size(argv[3], &epochs) || epochs == 0)) {
+    return usage(argv[0]);
+  }
   Routing routing = Routing::kRange;
   if (argc > 4) {
     if (std::strcmp(argv[4], "hash") == 0) {
       routing = Routing::kHash;
     } else if (std::strcmp(argv[4], "range") != 0) {
-      std::fprintf(stderr, "usage: %s [events] [fanout] [epochs] [range|hash]\n",
-                   argv[0]);
-      return 2;
+      return usage(argv[0]);
     }
   }
   primitives::Rng rng(2026);
@@ -88,8 +123,14 @@ int main(int argc, char** argv) {
       spans.push_back(e.span);
       wheres.push_back(e.where);
     }
-    by_time.bulk_insert(spans);
-    by_location.bulk_insert(wheres);
+    if (Status s = by_time.bulk_insert(spans); !s.ok()) {
+      std::fprintf(stderr, "initial load failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
+    if (Status s = by_location.bulk_insert(wheres); !s.ok()) {
+      std::fprintf(stderr, "initial load failed: %s\n", s.to_string().c_str());
+      return 1;
+    }
   }
   auto lc = load.delta();
   std::printf(
@@ -141,9 +182,20 @@ int main(int argc, char** argv) {
     size_t before_total = 0;
     for (size_t c : active_before) before_total += c;
 
-    // Commit: every shard applies its share of the batch in parallel.
-    by_time.commit();
-    by_location.commit();
+    // Commit: every shard applies its share of the batch in parallel. A
+    // non-OK commit rolls the epoch back wholesale; this loop only stages
+    // well-formed records, so a failure here is a real bug (or an armed
+    // WEG_FAULT from the environment).
+    if (auto v = by_time.commit(); !v.ok()) {
+      std::fprintf(stderr, "epoch %llu: time-index commit failed: %s\n",
+                   (unsigned long long)named, v.status().to_string().c_str());
+      return 1;
+    }
+    if (auto v = by_location.commit(); !v.ok()) {
+      std::fprintf(stderr, "epoch %llu: location-index commit failed: %s\n",
+                   (unsigned long long)named, v.status().to_string().c_str());
+      return 1;
+    }
 
     // Serve the same mix against the new version.
     auto active = by_time.stab_count_batch(stabs);
@@ -174,6 +226,43 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
+#if WEG_FAULT_INJECTION
+  // Rollback demo: arm a deterministic shard_apply fault, attempt a commit,
+  // and verify the transactional contract end to end. The staged batch is
+  // kept across the failure, so disarming and retrying commits exactly the
+  // records the failed epoch tried to publish.
+  if (!fault::armed()) {
+    std::vector<Event> retry;
+    for (size_t i = 0; i < 64; ++i) {
+      Event e = make_event(next_id++);
+      retry.push_back(e);
+      by_time.stage_insert(e.span);
+    }
+    uint64_t v0 = by_time.version();
+    auto before = by_time.stab_count_batch(stabs);
+    {
+      fault::ScopedFault guard("shard_apply", /*seed=*/0, /*nth=*/0);
+      auto v = by_time.commit();
+      if (v.ok() || by_time.version() != v0 ||
+          by_time.stab_count_batch(stabs) != before) {
+        std::fprintf(stderr, "rollback demo: contract violated\n");
+        return 1;
+      }
+      std::printf("rollback demo: commit failed [%s], version still %llu, "
+                  "queries unchanged\n",
+                  v.status().to_string().c_str(), (unsigned long long)v0);
+    }
+    auto v = by_time.commit();  // fault disarmed: same staged batch lands
+    if (!v.ok() || by_time.version() != v0 + 1) {
+      std::fprintf(stderr, "rollback demo: retry after disarm failed\n");
+      return 1;
+    }
+    for (const Event& e : retry) live.push_back(e);
+    std::printf("rollback demo: retry committed version %llu (+%zu events)\n",
+                (unsigned long long)v.value(), retry.size());
+  }
+#endif
+
   std::printf(
       "final version %llu across %zu shards, %zu live events, "
       "%zu + %zu rebalances\n",

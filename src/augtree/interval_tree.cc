@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <limits>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "src/parallel/fault.h"
 #include "src/parallel/par_build.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/semisort.h"
@@ -287,7 +290,9 @@ struct StaticStabCount {
 
 template <typename V>
 void StaticIntervalTree::stab_visit(double q, V&& vis) const {
-  if (n_ == 0) return;
+  // A NaN stab point is inside no interval; every comparison below would be
+  // false, which the forking walk would misread as an exact key match.
+  if (n_ == 0 || std::isnan(q)) return;
   // Walk by key comparison; on an exact key match the walk forks into both
   // subtrees (duplicate endpoint values can place storage nodes on either
   // side). The fork is output-sensitive: every node whose key equals q is an
@@ -640,8 +645,54 @@ void DynamicIntervalTree::free_subtree(uint32_t v) {
   }
 }
 
-void DynamicIntervalTree::bulk_insert(const std::vector<Interval>& batch) {
-  if (batch.empty()) return;
+namespace {
+
+// Shared record validation for the bulk mutation paths: a malformed record
+// (non-finite endpoint or l > r) would poison BST key comparisons, so it is
+// rejected before the first write. The scan is charged as bulk reads — an
+// input-only function, so asym totals stay deterministic.
+Status check_interval(const Interval& iv, const char* op) {
+  if (!std::isfinite(iv.l) || !std::isfinite(iv.r)) {
+    return Status::InvalidArgument(std::string(op) + ": non-finite endpoint" +
+                                   " on interval id " + std::to_string(iv.id));
+  }
+  if (iv.l > iv.r) {
+    return Status::InvalidArgument(std::string(op) + ": inverted interval [" +
+                                   std::to_string(iv.l) + ", " +
+                                   std::to_string(iv.r) + "] id " +
+                                   std::to_string(iv.id));
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status DynamicIntervalTree::bulk_insert(const std::vector<Interval>& batch) {
+  if (batch.empty()) return Status::Ok();
+  // Validation pass: malformed records and id collisions (within the batch
+  // or against a live interval — ivs_[id] would silently clobber the live
+  // record and orphan its treap entries) are rejected pre-mutation.
+  asym::count_read(batch.size());
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(batch.size());
+  for (const Interval& iv : batch) {
+    Status s = check_interval(iv, "bulk_insert");
+    if (!s.ok()) return s;
+    if (!seen.insert(iv.id).second) {
+      return Status::InvalidArgument(
+          "bulk_insert: duplicate id " + std::to_string(iv.id) +
+          " within batch");
+    }
+    if (ivs_.find(iv.id) != ivs_.end()) {
+      return Status::InvalidArgument(
+          "bulk_insert: id " + std::to_string(iv.id) +
+          " already live (erase it first)");
+    }
+  }
+  // Allocation fault point: index = endpoint-node demand of this batch.
+  if (fault::should_fail("alloc", 2 * batch.size())) {
+    return fault::injected("alloc", 2 * batch.size());
+  }
   // Register intervals and sort the 2m endpoint keys write-efficiently.
   std::vector<double> keys;
   keys.reserve(2 * batch.size());
@@ -735,6 +786,7 @@ void DynamicIntervalTree::bulk_insert(const std::vector<Interval>& batch) {
   if (root_weight_ >= 2 * root_init_) {
     rebuild(root_, kNull, 0, root_init_);
   }
+  return Status::Ok();
 }
 
 void DynamicIntervalTree::insert(const Interval& iv) {
@@ -763,7 +815,17 @@ bool DynamicIntervalTree::erase(const Interval& iv) {
   return true;
 }
 
-size_t DynamicIntervalTree::bulk_erase(const std::vector<Interval>& batch) {
+Expected<size_t> DynamicIntervalTree::bulk_erase(
+    const std::vector<Interval>& batch) {
+  // A malformed erase record cannot match a live interval (inserts reject
+  // them), so it signals a corrupted batch: reject pre-mutation rather than
+  // walking the skeleton with NaN keys. Absent-but-well-formed records stay
+  // a soft miss (count 0), preserving the idempotent-erase contract.
+  asym::count_read(batch.size());
+  for (const Interval& iv : batch) {
+    Status s = check_interval(iv, "bulk_erase");
+    if (!s.ok()) return s;
+  }
   size_t erased = 0;
   for (const Interval& iv : batch) {
     if (erase_one(iv)) ++erased;
@@ -814,6 +876,8 @@ bool DynamicIntervalTree::erase_one(const Interval& iv) {
 
 template <typename F>
 void DynamicIntervalTree::stab_visit(double q, F&& emit) const {
+  // A NaN stab point is inside no interval (see the static tree's guard).
+  if (std::isnan(q)) return;
   uint32_t v = root_;
   while (v != kNull) {
     asym::count_read();

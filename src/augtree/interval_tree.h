@@ -32,6 +32,7 @@
 #include "src/augtree/alpha.h"
 #include "src/augtree/interval.h"
 #include "src/augtree/treap.h"
+#include "src/core/status.h"
 #include "src/parallel/batch_query.h"
 
 namespace weg::augtree {
@@ -102,15 +103,19 @@ class DynamicIntervalTree {
   // Batched deletion: erases every present interval of the batch, deferring
   // the half-dead whole-tree rebuild check to the end — one compaction per
   // batch instead of up to |ivs| piecemeal rebuilds. Returns the number of
-  // intervals actually erased.
-  size_t bulk_erase(const std::vector<Interval>& ivs);
+  // intervals actually erased; a non-OK status (malformed record, injected
+  // fault) is returned before the first write, leaving the tree unchanged.
+  Expected<size_t> bulk_erase(const std::vector<Interval>& ivs);
 
   // Bulk insertion (Section 7.3.5): sorts the batch, merges the 2m endpoint
   // keys into the tree top-down — rebuilding any subtree the batch outgrows
   // in one shot instead of piecemeal — then assigns the intervals. For
   // m = Θ(n) this costs O(m) writes amortized versus O(m log_α n) for
-  // one-by-one insertion.
-  void bulk_insert(const std::vector<Interval>& ivs);
+  // one-by-one insertion. Validates the batch up front (finite endpoints,
+  // l <= r, no id duplicated within the batch or against a live interval)
+  // and checks the "alloc" fault point; any non-OK return happens before
+  // the first write, leaving the tree unchanged.
+  Status bulk_insert(const std::vector<Interval>& ivs);
 
   std::vector<uint32_t> stab(double q) const;
   // Counting variant: same API as the static trees; scan-based over the

@@ -5,10 +5,40 @@
 #include <cmath>
 #include <utility>
 
+#include "src/parallel/fault.h"
 #include "src/parallel/par_build.h"
 #include "src/primitives/random.h"
 
 namespace weg::kdtree {
+
+namespace {
+
+// A record or query point with a NaN/inf coordinate breaks every comparison
+// the traversals rely on; bulk mutation paths reject such records before the
+// first write, and query paths define the result (empty / nullopt) instead.
+template <int K>
+bool finite_point(const geom::PointK<K>& p) {
+  for (int d = 0; d < K; ++d) {
+    if (!std::isfinite(p[d])) return false;
+  }
+  return true;
+}
+
+// Shared pre-mutation validation of a bulk batch: one charged scan.
+template <int K>
+Status check_points(const std::vector<geom::PointK<K>>& pts, const char* op) {
+  asym::count_read(pts.size());
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (!finite_point<K>(pts[i])) {
+      return Status::InvalidArgument(std::string(op) +
+                                     ": non-finite coordinate at record " +
+                                     std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // LogForest
@@ -59,8 +89,14 @@ void LogForest<K>::insert(const Point& p) {
 }
 
 template <int K>
-void LogForest<K>::bulk_insert(const std::vector<Point>& points) {
-  if (points.empty()) return;
+Status LogForest<K>::bulk_insert(const std::vector<Point>& points) {
+  if (points.empty()) return Status::Ok();
+  Status s = check_points<K>(points, "bulk_insert");
+  if (!s.ok()) return s;
+  // Allocation fault point: index = the batch's node demand.
+  if (fault::should_fail("alloc", points.size())) {
+    return fault::injected("alloc", points.size());
+  }
   std::vector<Point> pts = points;
   asym::count_write(pts.size());
   // Absorb the occupied prefix (as a chain of single inserts would) plus any
@@ -87,6 +123,7 @@ void LogForest<K>::bulk_insert(const std::vector<Point>& points) {
   dst.dead = 0;
   dst.used = true;
   live_ += points.size();
+  return Status::Ok();
 }
 
 template <int K>
@@ -120,7 +157,9 @@ bool LogForest<K>::erase(const Point& p) {
 }
 
 template <int K>
-size_t LogForest<K>::bulk_erase(const std::vector<Point>& pts) {
+Expected<size_t> LogForest<K>::bulk_erase(const std::vector<Point>& pts) {
+  Status s = check_points<K>(pts, "bulk_erase");
+  if (!s.ok()) return s;
   size_t erased = 0;
   for (const Point& p : pts) {
     if (erase_mark(p)) ++erased;
@@ -214,6 +253,7 @@ LogForest<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
 template <int K>
 std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
     const Point& q, double eps, QueryStats* qs) const {
+  if (!finite_point<K>(q)) return std::nullopt;
   std::optional<Point> best;
   double best_sq = std::numeric_limits<double>::infinity();
   for (const Level& L : levels_) {
@@ -260,7 +300,7 @@ template <int K>
 std::vector<std::pair<double, typename LogForest<K>::Point>>
 LogForest<K>::knn_candidates(const Point& q, size_t k, QueryStats* qs) const {
   std::vector<std::pair<double, Point>> cand;
-  if (k == 0 || live_ == 0) return cand;
+  if (k == 0 || live_ == 0 || !finite_point<K>(q)) return cand;
   for (const Level& L : levels_) {
     if (!L.used) continue;
     const auto& pts = L.tree.points();
@@ -321,13 +361,16 @@ std::vector<typename LogForest<K>::Point> LogForest<K>::knn(
 template <int K>
 parallel::BatchResult<typename LogForest<K>::Point> LogForest<K>::knn_batch(
     const std::vector<Point>& qs, size_t k) const {
-  // Every query returns exactly min(k, live) neighbors, so the count pass
-  // costs nothing: the slice sizes are a function of k and the forest alone.
+  // A finite query returns exactly min(k, live) neighbors, so the count
+  // pass is nearly free: slice sizes are a function of k, the forest, and
+  // the query's finiteness alone (a non-finite query yields an empty slice,
+  // matching knn_candidates' guard).
   size_t per = std::min(k, live_);
   return parallel::batch_two_phase<Point>(
-      qs.size(), [&](size_t) { return per; },
+      qs.size(),
+      [&](size_t i) { return finite_point<K>(qs[i]) ? per : size_t{0}; },
       [&](size_t i, Point* out) {
-        if (per == 0) return;
+        if (per == 0 || !finite_point<K>(qs[i])) return;
         auto cand = knn_candidates(qs[i], k, nullptr);
         asym::count_write(cand.size());
         for (const auto& [d2, p] : cand) *out++ = p;
@@ -610,14 +653,20 @@ bool DynamicKdTree<K>::erase(const Point& p) {
 }
 
 template <int K>
-void DynamicKdTree<K>::bulk_insert(const std::vector<Point>& pts) {
-  if (pts.empty()) return;
+Status DynamicKdTree<K>::bulk_insert(const std::vector<Point>& pts) {
+  if (pts.empty()) return Status::Ok();
+  Status s = check_points<K>(pts, "bulk_insert");
+  if (!s.ok()) return s;
+  // Allocation fault point: index = the batch's node demand.
+  if (fault::should_fail("alloc", pts.size())) {
+    return fault::injected("alloc", pts.size());
+  }
   asym::count_read(pts.size());
   if (root_ == kNullNode) {
     live_ += pts.size();
     std::vector<Point> copy = pts;
     root_ = rebuild_subtree(copy, 0, copy.size(), 0);
-    return;
+    return Status::Ok();
   }
   live_ += pts.size();
   // Route every point to its leaf buffer, maintaining the live/total weights
@@ -642,11 +691,14 @@ void DynamicKdTree<K>::bulk_insert(const std::vector<Point>& pts) {
     pool_[cur].leaf_pts.emplace_back(p, true);
   }
   root_ = restructure_rec(root_, touched);
+  return Status::Ok();
 }
 
 template <int K>
-size_t DynamicKdTree<K>::bulk_erase(const std::vector<Point>& pts) {
-  if (root_ == kNullNode) return 0;
+Expected<size_t> DynamicKdTree<K>::bulk_erase(const std::vector<Point>& pts) {
+  Status s = check_points<K>(pts, "bulk_erase");
+  if (!s.ok()) return s;
+  if (root_ == kNullNode) return size_t{0};
   std::vector<uint8_t> touched(pool_.size(), 0);
   size_t erased = 0;
   std::vector<uint32_t> path;
@@ -796,7 +848,9 @@ DynamicKdTree<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
 template <int K>
 std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
     const Point& q, double eps, QueryStats* qs) const {
-  if (root_ == kNullNode || live_ == 0) return std::nullopt;
+  if (root_ == kNullNode || live_ == 0 || !finite_point<K>(q)) {
+    return std::nullopt;
+  }
   double best_sq = std::numeric_limits<double>::infinity();
   std::optional<Point> best;
   double prune = 1.0 / ((1.0 + eps) * (1.0 + eps));

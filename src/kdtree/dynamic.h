@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/status.h"
 #include "src/kdtree/kdtree.h"
 #include "src/kdtree/pbatched.h"
 
@@ -48,25 +49,29 @@ class LogForest {
   // performs a single (parallel, p-batched when large) rebuild at the first
   // level that both clears the occupied prefix and is large enough for the
   // batch — one tree build instead of up to |pts| carry-chain merges.
-  void bulk_insert(const std::vector<Point>& pts);
+  // Validates the batch up front (finite coordinates) and checks the
+  // "alloc" fault point; any non-OK return happens before the first write,
+  // leaving the forest unchanged.
+  Status bulk_insert(const std::vector<Point>& pts);
   // Removes one point equal to p; returns false if absent.
   bool erase(const Point& p);
   // Batched deletion: marks every present point of the batch dead, deferring
   // the half-dead forest compaction check to the end — one compaction per
   // batch instead of up to |pts| piecemeal rebuilds. Returns the number of
-  // points actually erased.
-  size_t bulk_erase(const std::vector<Point>& pts);
+  // points actually erased; a non-finite record is rejected pre-mutation.
+  Expected<size_t> bulk_erase(const std::vector<Point>& pts);
 
   size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
   std::vector<Point> range_report(const Box& query,
                                   QueryStats* qs = nullptr) const;
-  // (1+eps)-ANN over the whole forest; returns the point itself.
+  // (1+eps)-ANN over the whole forest; returns the point itself. A
+  // non-finite query yields nullopt (distances to NaN are unordered).
   std::optional<Point> ann(const Point& q, double eps = 0.0,
                            QueryStats* qs = nullptr) const;
   // Exact k nearest neighbors over the live points of all levels, returned
   // as points sorted by (squared distance, coordinates) — the canonical
-  // order the sharded layer's top-k merge assumes. Always returns exactly
-  // min(k, size()) points.
+  // order the sharded layer's top-k merge assumes. Returns exactly
+  // min(k, size()) points; k == 0 or a non-finite query yields none.
   std::vector<Point> knn(const Point& q, size_t k,
                          QueryStats* qs = nullptr) const;
 
@@ -155,14 +160,19 @@ class DynamicKdTree {
   // beyond the mode's tolerance, dead-point majorities — through the shared
   // pre-claim slot path (parallel::claim_build_slots via rebuild_subtree),
   // instead of the per-element alloc-one-node leaf splits of insert().
-  void bulk_insert(const std::vector<Point>& pts);
+  // Validates the batch up front (finite coordinates) and checks the
+  // "alloc" fault point; any non-OK return happens before the first write,
+  // leaving the tree unchanged.
+  Status bulk_insert(const std::vector<Point>& pts);
   // Batched deletion: marks every present point of the batch dead, then runs
-  // the same single restructuring pass. Returns the number erased.
-  size_t bulk_erase(const std::vector<Point>& pts);
+  // the same single restructuring pass. Returns the number erased; a
+  // non-finite record is rejected pre-mutation.
+  Expected<size_t> bulk_erase(const std::vector<Point>& pts);
 
   size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
   std::vector<Point> range_report(const Box& query,
                                   QueryStats* qs = nullptr) const;
+  // A non-finite query yields nullopt (distances to NaN are unordered).
   std::optional<Point> ann(const Point& q, double eps = 0.0,
                            QueryStats* qs = nullptr) const;
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/asym/counters.h"
+#include "src/core/status.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/sequence.h"
 
@@ -33,6 +34,14 @@ namespace weg::parallel {
 // the sharded layer merges per-shard BatchResults (broadcast or
 // planner-routed sub-batches alike) by summing per-query counts, re-scanning,
 // and concatenating slices — without this class knowing about shards.
+//
+// Error propagation: a result carries a Status (OK by default). A producer
+// that fails mid-pipeline — a poisoned per-shard sub-batch under fault
+// injection, an invalid query family — marks its result with set_status();
+// every merge that consumes a poisoned result propagates the poison to the
+// merged result instead of silently concatenating garbage, so the caller
+// sees exactly one non-OK status at the top. A poisoned result's slices are
+// empty.
 template <typename T>
 class BatchResult {
  public:
@@ -41,6 +50,18 @@ class BatchResult {
   BatchResult() = default;
   BatchResult(std::vector<T> items, std::vector<size_t> offsets)
       : items_(std::move(items)), offsets_(std::move(offsets)) {}
+  // A poisoned (empty) result carrying `status`.
+  explicit BatchResult(Status status) : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+  void set_status(Status status) {
+    status_ = std::move(status);
+    if (!status_.ok()) {
+      items_.clear();
+      offsets_.clear();
+    }
+  }
 
   size_t num_queries() const {
     return offsets_.empty() ? 0 : offsets_.size() - 1;
@@ -58,6 +79,7 @@ class BatchResult {
   const std::vector<size_t>& offsets() const { return offsets_; }
 
  private:
+  Status status_;  // OK unless the producer poisoned this result
   std::vector<T> items_;
   std::vector<size_t> offsets_;  // size Q + 1
 };

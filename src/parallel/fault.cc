@@ -1,0 +1,108 @@
+#include "src/parallel/fault.h"
+
+#if WEG_FAULT_INJECTION
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace weg::fault {
+
+namespace {
+
+std::atomic<uint64_t> g_trips{0};
+
+// splitmix64 finalizer (same mixer the shard router uses): the seeded-subset
+// selection rule's hash.
+uint64_t mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+namespace detail {
+
+std::atomic<const Spec*> g_spec{nullptr};
+
+namespace {
+// Retired specs stay reachable here for the life of the process (the vector
+// is deliberately never destroyed) so a concurrent check that loaded the old
+// spec pointer never reads freed memory — and LeakSanitizer sees every spec
+// as reachable. Arming is a test-time operation, bounded per process.
+std::mutex g_retire_mu;
+std::vector<std::unique_ptr<const Spec>>* const g_retired =
+    new std::vector<std::unique_ptr<const Spec>>;
+
+// Shared by env parsing and programmatic arm().
+void publish(const char* point, uint64_t seed, uint64_t nth) {
+  auto spec = std::make_unique<const Spec>(Spec{point, seed, nth});
+  const Spec* raw = spec.get();
+  {
+    std::lock_guard<std::mutex> lock(g_retire_mu);
+    g_retired->push_back(std::move(spec));
+  }
+  g_spec.store(raw, std::memory_order_release);
+  g_trips.store(0, std::memory_order_relaxed);
+}
+}  // namespace
+
+bool ensure_env_parsed() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* env = std::getenv("WEG_FAULT");
+    if (env == nullptr || *env == '\0') return;
+    // <point>:<seed>:<nth> — unparsable specs are reported, not guessed at.
+    std::string s(env);
+    size_t c1 = s.find(':');
+    size_t c2 = c1 == std::string::npos ? std::string::npos
+                                        : s.find(':', c1 + 1);
+    if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0) {
+      std::fprintf(stderr,
+                   "weg::fault: ignoring malformed WEG_FAULT=%s "
+                   "(want <point>:<seed>:<nth>)\n",
+                   env);
+      return;
+    }
+    char* end = nullptr;
+    uint64_t seed = std::strtoull(s.c_str() + c1 + 1, &end, 10);
+    uint64_t nth = std::strtoull(s.c_str() + c2 + 1, &end, 10);
+    publish(s.substr(0, c1).c_str(), seed, nth);
+  });
+  return true;
+}
+
+bool should_fail_slow(const Spec* spec, const char* point, uint64_t index) {
+  if (spec->point != point) return false;
+  bool hit;
+  if (spec->seed == 0) {
+    hit = index == spec->nth;
+  } else {
+    // Seeded subset at rate 1/(nth+1): reproducible per (seed, index).
+    hit = mix64(spec->seed ^ index) % (spec->nth + 1) == 0;
+  }
+  if (hit) g_trips.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+}  // namespace detail
+
+void arm(const char* point, uint64_t seed, uint64_t nth) {
+  detail::ensure_env_parsed();
+  detail::publish(point, seed, nth);
+}
+
+void disarm() {
+  detail::ensure_env_parsed();
+  detail::g_spec.store(nullptr, std::memory_order_release);
+}
+
+uint64_t trips() { return g_trips.load(std::memory_order_relaxed); }
+
+}  // namespace weg::fault
+
+#endif  // WEG_FAULT_INJECTION

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+
+#include "src/parallel/fault.h"
 
 namespace weg::parallel {
 
@@ -61,6 +64,11 @@ Scheduler::Scheduler()
       deques_(num_workers_ + kMaxExternal) {
   tl_worker_id = 0;
   tl_deque_slot = 0;
+  if (const char* env = std::getenv("WEG_WATCHDOG_MS")) {
+    long v = std::strtol(env, nullptr, 10);
+    if (v > 0) watchdog_ms_.store(static_cast<uint64_t>(v),
+                                  std::memory_order_relaxed);
+  }
   threads_.reserve(num_workers_ > 0 ? num_workers_ - 1 : 0);
   for (size_t i = 1; i < num_workers_; ++i) {
     threads_.emplace_back([this, i] { worker_loop(static_cast<int>(i)); });
@@ -118,12 +126,41 @@ void Scheduler::wait_for(Job* job) {
   // joiners probe victims in decorrelated orders.
   uint64_t rng = 0x12345678ULL + static_cast<uint64_t>(tl_deque_slot + 1);
   unsigned failures = 0;
+  // Join watchdog bookkeeping: the clock is read lazily (every ~8 spins,
+  // and only when a deadline is armed) so the common fast join never
+  // touches steady_clock. 8, not a larger stride: once the backoff ramp
+  // reaches its ~1 ms sleeps, a stride of N costs ~N ms between clock
+  // reads, and the deadline check must land inside a stall's window.
+  const uint64_t deadline_ms = watchdog_ms_.load(std::memory_order_relaxed);
+  std::chrono::steady_clock::time_point t0{};
+  bool t0_set = false;
+  bool tripped = false;
+  unsigned spins = 0;
   while (!job->done.load(std::memory_order_acquire)) {
     if (Job* other = try_steal(rng)) {
       failures = 0;
       other->execute();
     } else {
       backoff(++failures);
+    }
+    if (deadline_ms != 0 && !tripped && (++spins & 7u) == 0) {
+      auto now = std::chrono::steady_clock::now();
+      if (!t0_set) {
+        t0 = now;
+        t0_set = true;
+      } else if (std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                       t0)
+                     .count() >= static_cast<int64_t>(deadline_ms)) {
+        // Surface the stall — once per wait — and keep helping: the stolen
+        // branch is executing on another worker and cannot be cancelled.
+        tripped = true;
+        watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
+        std::fprintf(stderr,
+                     "weg::parallel: watchdog: join on worker %d still "
+                     "waiting after %llu ms (stalled worker?)\n",
+                     tl_worker_id,
+                     static_cast<unsigned long long>(deadline_ms));
+      }
     }
   }
 }
@@ -136,6 +173,13 @@ void Scheduler::worker_loop(int id) {
   while (!shutdown_.load(std::memory_order_acquire)) {
     if (Job* job = try_steal(rng)) {
       failures = 0;
+      // steal_stall fault point: simulate a stalled worker by sleeping
+      // before executing the stolen job (index = worker id), so the join
+      // watchdog's deadline expires while the joiner helps/waits.
+      if (fault::should_fail("steal_stall", static_cast<uint64_t>(id))) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault::kStallMillis));
+      }
       job->execute();
       continue;
     }

@@ -161,6 +161,23 @@ class Scheduler {
   // one that first touched the scheduler) map to 0.
   static int worker_id();
 
+  // Join watchdog: when a join (wait_for) has been spinning for more than
+  // this many milliseconds, the scheduler records a trip and prints one
+  // diagnostic per wait to stderr — surfacing a stalled worker instead of
+  // hanging silently — then keeps helping/waiting (a stolen job cannot be
+  // cancelled safely). 0 disables the deadline. Initialized from the
+  // WEG_WATCHDOG_MS environment variable (default 0).
+  void set_watchdog_ms(uint64_t ms) {
+    watchdog_ms_.store(ms, std::memory_order_relaxed);
+  }
+  uint64_t watchdog_ms() const {
+    return watchdog_ms_.load(std::memory_order_relaxed);
+  }
+  // Number of joins whose deadline expired since process start.
+  uint64_t watchdog_trips() const {
+    return watchdog_trips_.load(std::memory_order_relaxed);
+  }
+
   // Fork-join of exactly two branches (binary forking, as in the model).
   // Safe to call concurrently from multiple root threads: each root thread
   // lazily claims a private deque slot. Slots are never recycled, so after
@@ -216,6 +233,8 @@ class Scheduler {
   std::vector<std::thread> threads_;
   std::atomic<bool> shutdown_{false};
   std::atomic<uint32_t> external_next_{0};
+  std::atomic<uint64_t> watchdog_ms_{0};
+  std::atomic<uint64_t> watchdog_trips_{0};
 };
 
 // Convenience free function: fork-join two branches.

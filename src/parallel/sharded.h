@@ -59,6 +59,22 @@
 // batches may be freely interleaved with staging. The serving loop itself
 // sequences commit() against in-flight query batches (phases, not locks);
 // everything inside a phase parallelizes on the scheduler.
+//
+// Transactional commit: commit() returns Expected<Version> and is
+// all-or-nothing. Staged records are validated up front (finite
+// coordinates, l <= r, no duplicate ids within an epoch); then every shard
+// with work applies its sub-batches to a shadow clone, and the clones are
+// published — by move, shard by shard — only after every shard succeeded.
+// Any failure (validation, a structure-level error such as an id already
+// live, an injected fault, or std::bad_alloc mid-apply) rolls the commit
+// back: version() is unchanged, every shard still holds its epoch-N state,
+// and queries return bitwise-identical results to the pre-commit snapshot.
+// The staged buffers are kept on failure so a caller can repair and retry,
+// or drop them with discard_staged(). When several shards fail in one
+// transaction, the reported Status is the lowest-numbered shard's
+// (deterministic at every worker count). bulk_insert / bulk_erase run the
+// same transaction, and commit-time rebalancing migrates records through
+// it too (a failed migration skips the rebalance and keeps the commit).
 #pragma once
 
 #include <algorithm>
@@ -69,14 +85,19 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <new>
+#include <string>
 #include <type_traits>
+#include <unordered_set>
 #include <vector>
 
 #include "src/asym/counters.h"
 #include "src/augtree/interval_tree.h"
+#include "src/core/status.h"
 #include "src/geom/point.h"
 #include "src/kdtree/dynamic.h"
 #include "src/parallel/batch_query.h"
+#include "src/parallel/fault.h"
 #include "src/parallel/parallel_for.h"
 #include "src/primitives/semisort.h"
 #include "src/primitives/sequence.h"
@@ -276,6 +297,12 @@ class Sharded {
 
   void stage_insert(const Record& rec) { staged_ins_.push_back(rec); }
   void stage_erase(const Record& rec) { staged_ers_.push_back(rec); }
+  // Drops the staged batch without applying it (the recovery path after a
+  // failed commit when the caller does not want to repair and retry).
+  void discard_staged() {
+    staged_ins_.clear();
+    staged_ers_.clear();
+  }
 
   // Applies the staged batch — every shard's share via bulk_insert then
   // bulk_erase, all shards in parallel — rebalances skewed range bounds,
@@ -283,14 +310,29 @@ class Sharded {
   // erase in one epoch is inserted, then erased: the committed snapshot
   // does not contain it. A commit with nothing staged is a no-op epoch and
   // publishes nothing: version() is unchanged.
-  uint64_t commit() {
+  //
+  // All-or-nothing (see the file header): on any non-OK return the layer
+  // still serves epoch N — version() unchanged, queries bitwise-identical
+  // to the pre-commit snapshot — and the staged buffers are kept for repair
+  // or discard_staged(). The one persisting side effect of a failed first
+  // commit is the seeded range partition (split points only — a routing
+  // heuristic, not record state).
+  Expected<uint64_t> commit() {
     if (staged_ins_.empty() && staged_ers_.empty()) {
       last_commit_erased_ = 0;
       return version_;
     }
+    Status valid = validate_staged();
+    if (!valid.ok()) return valid;
     ensure_bounds(staged_ins_);
-    last_commit_erased_ =
-        apply_batches(partition_inserts(staged_ins_), partition(staged_ers_));
+    auto ins = partition(staged_ins_);
+    auto ers = partition(staged_ers_);
+    Expected<size_t> erased = apply_transaction(ins, ers);
+    if (!erased.ok()) return erased.status();
+    // Published: coverage extension and epoch bookkeeping happen only now,
+    // so a rolled-back commit leaves the planner's pruning bounds exact.
+    last_commit_erased_ = erased.value();
+    extend_covers(ins);
     staged_ins_.clear();
     staged_ers_.clear();
     maybe_rebalance();
@@ -300,18 +342,28 @@ class Sharded {
   // Immediate one-batch epochs: route and apply `recs` in one step and
   // publish a version of their own. Records staged for the in-progress
   // epoch (if any) are left staged — only commit() consumes them. An empty
-  // batch is a no-op and publishes no version.
-  void bulk_insert(const std::vector<Record>& recs) {
-    if (recs.empty()) return;
+  // batch is a no-op and publishes no version. Both run the same
+  // transaction as commit(): a non-OK return leaves every shard unchanged.
+  Status bulk_insert(const std::vector<Record>& recs) {
+    if (recs.empty()) return Status::Ok();
+    Status valid = validate_batch(recs, /*inserts=*/true);
+    if (!valid.ok()) return valid;
     ensure_bounds(recs);
-    apply_batches(partition_inserts(recs), {});
+    auto ins = partition(recs);
+    Expected<size_t> res = apply_transaction(ins, {});
+    if (!res.ok()) return res.status();
+    extend_covers(ins);
     ++version_;
+    return Status::Ok();
   }
-  size_t bulk_erase(const std::vector<Record>& recs) {
-    if (recs.empty()) return 0;
-    size_t erased = apply_batches({}, partition(recs));
+  Expected<size_t> bulk_erase(const std::vector<Record>& recs) {
+    if (recs.empty()) return size_t{0};
+    Status valid = validate_batch(recs, /*inserts=*/false);
+    if (!valid.ok()) return valid;
+    Expected<size_t> res = apply_transaction({}, partition(recs));
+    if (!res.ok()) return res;
     ++version_;
-    return erased;
+    return res;
   }
 
   // --- batched queries --------------------------------------------------
@@ -429,6 +481,9 @@ class Sharded {
       auto per = run_shards([&](const Structure& s) {
         return s.knn_batch(qs, k);
       });
+      if (Status poison = first_poison(per); !poison.ok()) {
+        return BatchResult<T>(std::move(poison));
+      }
       std::vector<size_t> offsets(nq + 1, 0);
       for (size_t q = 0; q < nq; ++q) {
         size_t total = 0;
@@ -471,6 +526,9 @@ class Sharded {
                             [&](const Structure& s, const std::vector<P>& sub) {
                               return s.knn_batch(sub, k);
                             });
+    if (Status poison = first_poison(per0); !poison.ok()) {
+      return BatchResult<T>(std::move(poison));
+    }
     // Current k-th candidate distance per query — infinity when the seed
     // shard cannot supply k candidates (then no shard may be pruned).
     std::vector<double> thr(nq, std::numeric_limits<double>::infinity());
@@ -501,6 +559,9 @@ class Sharded {
                             [&](const Structure& s, const std::vector<P>& sub) {
                               return s.knn_batch(sub, k);
                             });
+    if (Status poison = first_poison(per1); !poison.ok()) {
+      return BatchResult<T>(std::move(poison));
+    }
 
     std::vector<size_t> offsets(nq + 1, 0);
     for (size_t q = 0; q < nq; ++q) {
@@ -646,10 +707,13 @@ class Sharded {
   }
   bool shard_live(size_t s) const { return shards_[s].size() > 0; }
 
-  size_t shard_by_key(double key) const {
+  static size_t shard_by_key_in(const std::vector<double>& splits,
+                                double key) {
     return static_cast<size_t>(
-        std::upper_bound(splits_.begin(), splits_.end(), key) -
-        splits_.begin());
+        std::upper_bound(splits.begin(), splits.end(), key) - splits.begin());
+  }
+  size_t shard_by_key(double key) const {
+    return shard_by_key_in(splits_, key);
   }
 
   // --- planner predicates over the coverage bounds ---------------------
@@ -779,6 +843,22 @@ class Sharded {
   // Runs one targeted sub-batch per visited shard, all shards in parallel
   // (each call is itself parallel inside via the two-phase engine). Slot s
   // is written by shard s alone; unvisited shards keep a default result.
+  // query_poison fault point (index = shard id): marks a shard's
+  // BatchResult sub-batch poisoned so the merge-propagation path can be
+  // driven deterministically. Families whose per-shard results carry no
+  // Status (counting, ANN) have no poison carrier and skip the check.
+  template <typename R>
+  static void maybe_poison(R& result, size_t s) {
+    if constexpr (requires { result.set_status(Status::Ok()); }) {
+      if (fault::should_fail("query_poison", s)) {
+        result.set_status(fault::injected("query_poison", s));
+      }
+    } else {
+      (void)result;
+      (void)s;
+    }
+  }
+
   template <typename Q, typename RunSub>
   auto run_planned(const Plan& plan, const std::vector<Q>& qs,
                    RunSub&& run) const {
@@ -793,15 +873,31 @@ class Sharded {
           std::vector<Q> sub(qidx.size());
           for (size_t j = 0; j < qidx.size(); ++j) sub[j] = qs[qidx[j]];
           per[s] = run(shards_[s], sub);
+          maybe_poison(per[s], s);
         },
         1);
     return per;
+  }
+
+  // First non-OK status across the per-shard results (lowest shard id, so
+  // the propagated poison is deterministic), or OK.
+  template <typename Result>
+  static Status first_poison(const std::vector<Result>& per) {
+    if constexpr (requires(const Result& r) { r.status(); }) {
+      for (const Result& r : per) {
+        if (!r.ok()) return r.status();
+      }
+    }
+    return Status::Ok();
   }
 
   template <typename Result, typename Less>
   auto merge_planned_report(const Plan& plan, const std::vector<Result>& per,
                             size_t nq, Less less) const {
     using T = typename Result::value_type;
+    if (Status poison = first_poison(per); !poison.ok()) {
+      return BatchResult<T>(std::move(poison));
+    }
     std::vector<size_t> offsets(nq + 1, 0);
     for (size_t q = 0; q < nq; ++q) {
       for (auto [s, j] : plan.entries[q]) offsets[q] += per[s].count(j);
@@ -859,12 +955,17 @@ class Sharded {
 
   // Equally-spaced quantiles of a sorted key sample become the S-1 split
   // points.
-  void set_splits(const std::vector<double>& sorted_keys) {
+  std::vector<double> quantile_splits(
+      const std::vector<double>& sorted_keys) const {
     size_t S = shards_.size();
-    splits_.assign(S - 1, 0.0);
+    std::vector<double> sp(S - 1, 0.0);
     for (size_t s = 1; s < S; ++s) {
-      splits_[s - 1] = sorted_keys[s * sorted_keys.size() / S];
+      sp[s - 1] = sorted_keys[s * sorted_keys.size() / S];
     }
+    return sp;
+  }
+  void set_splits(const std::vector<double>& sorted_keys) {
+    splits_ = quantile_splits(sorted_keys);
   }
 
   // Seeds the range partition from the first non-empty insert batch: a
@@ -932,16 +1033,21 @@ class Sharded {
     std::sort(keys.begin(), keys.end());
     asym::count_read(n);
     asym::count_write(n);
-    std::vector<double> old = splits_;
-    set_splits(keys);
-    if (splits_ == old) return;  // degenerate keys: re-splitting is a no-op
+    // Stage the new partition locally: splits_, cover_, and the shards are
+    // only touched once the migration transaction has succeeded, so a
+    // failed migration (injected fault, allocation failure) skips the
+    // rebalance and leaves the just-committed epoch fully intact.
+    std::vector<double> new_splits = quantile_splits(keys);
+    if (new_splits == splits_) return;  // degenerate keys: no-op re-split
 
-    for (Cover& c : cover_) c = empty_cover();
+    std::vector<Cover> new_cover(S, empty_cover());
     std::vector<std::vector<Record>> leave(S), enter(S);
     for (size_t s = 0; s < S; ++s) {
       for (const Record& r : recs[s]) {
-        size_t ns = shard_by_key(Traits::partition_key(r));
-        extend_cover(ns, r);
+        size_t ns = shard_by_key_in(new_splits, Traits::partition_key(r));
+        Cover& c = new_cover[ns];
+        c.lo = std::min(c.lo, Traits::partition_key(r));
+        c.hi = std::max(c.hi, Traits::coverage_hi(r));
         if (ns != s) {
           leave[s].push_back(r);
           enter[ns].push_back(r);
@@ -949,13 +1055,13 @@ class Sharded {
       }
     }
     asym::count_read(n);
-    parallel_for(
-        0, S,
-        [&](size_t s) {
-          if (!leave[s].empty()) shards_[s].bulk_erase(leave[s]);
-          if (!enter[s].empty()) shards_[s].bulk_insert(enter[s]);
-        },
-        1);
+    // Migration order matters within the transaction's per-shard apply:
+    // enterers insert first, then leavers erase (the sets are disjoint —
+    // a record's old and new shard differ — so the order is safe and the
+    // erase cannot miss).
+    if (!apply_transaction(enter, leave).ok()) return;
+    splits_ = std::move(new_splits);
+    cover_ = std::move(new_cover);
     ++rebalances_;
   }
 
@@ -972,38 +1078,167 @@ class Sharded {
     return by;
   }
 
-  // Insert-side partition: also extends each target shard's conservative
-  // coverage (the bounds the planner prunes with).
-  std::vector<std::vector<Record>> partition_inserts(
-      const std::vector<Record>& recs) {
-    auto by = partition(recs);
-    if (routing_ == Routing::kRange && bounds_built_ && !recs.empty()) {
-      for (size_t s = 0; s < by.size(); ++s) {
-        for (const Record& r : by[s]) extend_cover(s, r);
-      }
-      asym::count_read(recs.size());
-      asym::count_write(by.size());
+  // Post-publish coverage extension over a routed insert batch (the bounds
+  // the planner prunes with). Runs only after a transaction succeeded, so a
+  // rolled-back commit never widens a shard's pruning bounds.
+  void extend_covers(const std::vector<std::vector<Record>>& by) {
+    if (routing_ != Routing::kRange || !bounds_built_ || by.empty()) return;
+    size_t n = 0;
+    for (size_t s = 0; s < by.size(); ++s) {
+      for (const Record& r : by[s]) extend_cover(s, r);
+      n += by[s].size();
     }
-    return by;
+    if (n == 0) return;
+    asym::count_read(n);
+    asym::count_write(by.size());
   }
 
-  // Applies per-shard insert then erase sub-batches, all shards in
-  // parallel; empty outer vectors mean "no batch of that kind". Returns the
-  // total number of records actually erased.
-  size_t apply_batches(const std::vector<std::vector<Record>>& ins,
-                       const std::vector<std::vector<Record>>& ers) {
-    std::vector<size_t> erased(shards_.size(), 0);
+  // --- staged-record validation -----------------------------------------
+
+  // One record's well-formedness: finite coordinates, and l <= r for
+  // interval-like records. A malformed record would corrupt BST key
+  // comparisons inside the shard, so it is rejected before any shard work.
+  static Status validate_record(const Record& rec, size_t ordinal,
+                                const char* what) {
+    if constexpr (requires { rec.l; rec.r; rec.id; }) {
+      if (!std::isfinite(rec.l) || !std::isfinite(rec.r)) {
+        return Status::InvalidArgument(
+            std::string(what) + " record " + std::to_string(ordinal) +
+            " (id " + std::to_string(rec.id) + "): non-finite endpoint");
+      }
+      if (rec.l > rec.r) {
+        return Status::InvalidArgument(
+            std::string(what) + " record " + std::to_string(ordinal) +
+            " (id " + std::to_string(rec.id) + "): inverted interval [" +
+            std::to_string(rec.l) + ", " + std::to_string(rec.r) + "]");
+      }
+    } else {
+      for (double c : rec.coords) {
+        if (!std::isfinite(c)) {
+          return Status::InvalidArgument(std::string(what) + " record " +
+                                         std::to_string(ordinal) +
+                                         ": non-finite coordinate");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  // Validates one batch pre-transaction. Insert batches additionally check
+  // the "validate" fault point (index = record ordinal) and reject ids
+  // duplicated within the batch — the same id twice in one epoch has no
+  // well-defined order, and the shard-level insert would silently clobber.
+  // Ids already live in a shard are caught by that shard's own bulk_insert
+  // during the shadow apply (and roll the transaction back). The scan is an
+  // input-only bulk charge, so asym totals stay deterministic.
+  Status validate_batch(const std::vector<Record>& recs, bool inserts) const {
+    const char* what = inserts ? "staged insert" : "staged erase";
+    asym::count_read(recs.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+      Status s = validate_record(recs[i], i, what);
+      if (!s.ok()) return s;
+      if (inserts && fault::should_fail("validate", i)) {
+        return fault::injected("validate", i);
+      }
+    }
+    if constexpr (requires(const Record& r) { r.id; }) {
+      if (inserts) {
+        std::unordered_set<uint32_t> seen;
+        seen.reserve(recs.size());
+        for (size_t i = 0; i < recs.size(); ++i) {
+          if (!seen.insert(recs[i].id).second) {
+            return Status::InvalidArgument(
+                "staged insert record " + std::to_string(i) +
+                ": duplicate id " + std::to_string(recs[i].id) +
+                " within epoch");
+          }
+        }
+      }
+    }
+    return Status::Ok();
+  }
+
+  Status validate_staged() const {
+    Status s = validate_batch(staged_ins_, /*inserts=*/true);
+    if (!s.ok()) return s;
+    return validate_batch(staged_ers_, /*inserts=*/false);
+  }
+
+  // --- the transaction --------------------------------------------------
+
+  // Applies per-shard insert then erase sub-batches all-or-nothing: every
+  // shard with work stages into a shadow clone, and the clones replace the
+  // live shards (a per-shard move) only after all of them succeeded. Empty
+  // outer vectors mean "no batch of that kind". Failure modes per shard —
+  // the "shard_apply" fault point (checked before the clone is even made),
+  // a structure-level non-OK Status (id already live, "alloc" fault), or
+  // std::bad_alloc thrown mid-apply — discard every clone and leave all
+  // shards untouched; the first failing shard by id supplies the Status, so
+  // the reported error is identical at every worker count. Returns the
+  // total number of records actually erased on success.
+  //
+  // Cost: cloning charges one bulk read + write per live record of the
+  // shards with work — the write-cost price of all-or-nothing publication;
+  // shards without work are never cloned.
+  Expected<size_t> apply_transaction(
+      const std::vector<std::vector<Record>>& ins,
+      const std::vector<std::vector<Record>>& ers) {
+    size_t S = shards_.size();
+    std::vector<std::unique_ptr<Structure>> shadow(S);
+    std::vector<Status> status(S);
+    std::vector<size_t> erased(S, 0);
+    uint64_t cloned = 0;
+    for (size_t s = 0; s < S; ++s) {
+      bool has_ins = !ins.empty() && !ins[s].empty();
+      bool has_ers = !ers.empty() && !ers[s].empty();
+      if (has_ins || has_ers) cloned += shards_[s].size();
+    }
+    asym::count_read(cloned);
+    asym::count_write(cloned);
     parallel_for(
-        0, shards_.size(),
+        0, S,
         [&](size_t s) {
-          if (!ins.empty() && !ins[s].empty()) shards_[s].bulk_insert(ins[s]);
-          if (!ers.empty() && !ers[s].empty()) {
-            erased[s] = shards_[s].bulk_erase(ers[s]);
+          bool has_ins = !ins.empty() && !ins[s].empty();
+          bool has_ers = !ers.empty() && !ers[s].empty();
+          if (!has_ins && !has_ers) return;
+          if (fault::should_fail("shard_apply", s)) {
+            status[s] = fault::injected("shard_apply", s);
+            return;
+          }
+          try {
+            shadow[s] = std::make_unique<Structure>(shards_[s]);
+            if (has_ins) {
+              Status r = shadow[s]->bulk_insert(ins[s]);
+              if (!r.ok()) {
+                status[s] = Status(r.code(), "shard " + std::to_string(s) +
+                                                 ": " + r.message());
+                return;
+              }
+            }
+            if (has_ers) {
+              Expected<size_t> r = shadow[s]->bulk_erase(ers[s]);
+              if (!r.ok()) {
+                status[s] =
+                    Status(r.status().code(), "shard " + std::to_string(s) +
+                                                  ": " + r.status().message());
+                return;
+              }
+              erased[s] = r.value();
+            }
+          } catch (const std::bad_alloc&) {
+            status[s] = Status::ResourceExhausted(
+                "shard " + std::to_string(s) + ": allocation failed mid-apply");
           }
         },
         1);
+    for (size_t s = 0; s < S; ++s) {
+      if (!status[s].ok()) return status[s];  // clones discarded: rollback
+    }
     size_t total = 0;
-    for (size_t e : erased) total += e;
+    for (size_t s = 0; s < S; ++s) {
+      if (shadow[s] != nullptr) shards_[s] = std::move(*shadow[s]);
+      total += erased[s];
+    }
     return total;
   }
 
@@ -1015,7 +1250,12 @@ class Sharded {
     using R = std::invoke_result_t<Run&, const Structure&>;
     std::vector<R> per(shards_.size());
     parallel_for(
-        0, shards_.size(), [&](size_t s) { per[s] = run(shards_[s]); }, 1);
+        0, shards_.size(),
+        [&](size_t s) {
+          per[s] = run(shards_[s]);
+          maybe_poison(per[s], s);
+        },
+        1);
     return per;
   }
 
@@ -1042,6 +1282,9 @@ class Sharded {
     using Result = std::invoke_result_t<Run&, const Structure&>;
     using T = typename Result::value_type;
     auto per = run_shards(run);
+    if (Status poison = first_poison(per); !poison.ok()) {
+      return BatchResult<T>(std::move(poison));
+    }
     std::vector<size_t> offsets(nq + 1, 0);
     for (size_t q = 0; q < nq; ++q) {
       for (const Result& r : per) offsets[q] += r.count(q);

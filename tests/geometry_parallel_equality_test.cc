@@ -250,11 +250,11 @@ TEST(GeometryParallelEquality, DynamicKdTreeRebuildsMatchBruteForce) {
 TEST(GeometryParallelEquality, LogForestBulkInsertMatchesBruteForce) {
   auto pts = testing::random_points(30000, 0x48B);
   kdtree::LogForest<2> bulk(kdtree::LogForest<2>::RebuildMode::kPBatched);
-  bulk.bulk_insert(pts);
+  ASSERT_TRUE(bulk.bulk_insert(pts).ok());
   EXPECT_EQ(bulk.size(), pts.size());
   // A second, smaller batch exercises the carry-chain absorption.
   auto more = testing::random_points(5000, 0x48C);
-  bulk.bulk_insert(more);
+  ASSERT_TRUE(bulk.bulk_insert(more).ok());
   auto all = pts;
   all.insert(all.end(), more.begin(), more.end());
   EXPECT_EQ(bulk.size(), all.size());

@@ -220,7 +220,7 @@ TEST(DynamicIT, BulkInsertMatchesIncremental) {
   for (auto& iv : batch) iv.id += 10000;
   DynamicIntervalTree t(4);
   for (auto& iv : base) t.insert(iv);
-  t.bulk_insert(batch);
+  ASSERT_TRUE(t.bulk_insert(batch).ok());
   EXPECT_TRUE(t.validate());
   EXPECT_EQ(t.size(), base.size() + batch.size());
   std::vector<Interval> all = base;
@@ -234,7 +234,7 @@ TEST(DynamicIT, BulkInsertMatchesIncremental) {
 TEST(DynamicIT, BulkInsertIntoEmpty) {
   DynamicIntervalTree t(4);
   auto batch = make_intervals(Pattern::kMixed, 1000, 51);
-  t.bulk_insert(batch);
+  ASSERT_TRUE(t.bulk_insert(batch).ok());
   EXPECT_TRUE(t.validate());
   EXPECT_EQ(t.size(), batch.size());
   EXPECT_EQ(t.stab(0.5).size(), brute_stab(batch, 0.5));
@@ -250,7 +250,7 @@ TEST(DynamicIT, BulkInsertWritesLessThanIncremental) {
     DynamicIntervalTree t(4);
     for (auto& iv : base) t.insert(iv);
     asym::Region r;
-    t.bulk_insert(batch);
+    ASSERT_TRUE(t.bulk_insert(batch).ok());
     bulk_writes = r.delta().writes;
   }
   {

@@ -85,14 +85,14 @@ std::vector<geom::Point2> sorted_points(std::vector<geom::Point2> v) {
 TEST(PlannerEquality, StabRoutedVsBroadcastVsUnsharded) {
   auto ivs = fixed_intervals(kN, 0xA11CE);
   DynamicIntervalTree oracle(4);
-  oracle.bulk_insert(ivs);
+  ASSERT_TRUE(oracle.bulk_insert(ivs).ok());
   auto qs = stab_points(256, 0xBEEF);
 
   for (size_t f : kFanouts) {
     Sharded<DynamicIntervalTree> routed(Routing::kRange, f, 4);
     Sharded<DynamicIntervalTree> broadcast(Routing::kHash, f, 4);
-    routed.bulk_insert(ivs);
-    broadcast.bulk_insert(ivs);
+    ASSERT_TRUE(routed.bulk_insert(ivs).ok());
+    ASSERT_TRUE(broadcast.bulk_insert(ivs).ok());
     EXPECT_EQ(routed.routing(), Routing::kRange);
     EXPECT_TRUE(routed.bounds_built());
     EXPECT_EQ(routed.splits().size(), f - 1);
@@ -116,8 +116,8 @@ TEST(PlannerEquality, ForestRoutedVsBroadcastVsUnsharded) {
   auto pts = testing::random_points<2>(20000, 0xFEED);
   std::vector<geom::Point2> gone(pts.begin(), pts.begin() + 2500);
   LogForest<2> oracle;
-  oracle.bulk_insert(pts);
-  ASSERT_EQ(oracle.bulk_erase(gone), gone.size());
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
+  ASSERT_EQ(oracle.bulk_erase(gone).value(), gone.size());
   auto boxes = box_queries(96, 0xABBA, 0.2);
   auto nnq = testing::random_points<2>(64, 0xACDC);
   const size_t k = 8;
@@ -125,10 +125,10 @@ TEST(PlannerEquality, ForestRoutedVsBroadcastVsUnsharded) {
   for (size_t f : kFanouts) {
     Sharded<LogForest<2>> routed(Routing::kRange, f);
     Sharded<LogForest<2>> broadcast(f);
-    routed.bulk_insert(pts);
-    broadcast.bulk_insert(pts);
-    EXPECT_EQ(routed.bulk_erase(gone), gone.size());
-    EXPECT_EQ(broadcast.bulk_erase(gone), gone.size());
+    ASSERT_TRUE(routed.bulk_insert(pts).ok());
+    ASSERT_TRUE(broadcast.bulk_insert(pts).ok());
+    EXPECT_EQ(routed.bulk_erase(gone).value(), gone.size());
+    EXPECT_EQ(broadcast.bulk_erase(gone).value(), gone.size());
     EXPECT_EQ(routed.size(), oracle.size());
 
     auto rep_r = routed.range_report_batch(boxes);
@@ -161,15 +161,15 @@ TEST(PlannerEquality, DynamicKdTreeRoutedVsBroadcast) {
   auto pts = testing::random_points<2>(20000, 0xD00D);
   std::vector<geom::Point2> gone(pts.begin(), pts.begin() + 2500);
   DynamicKdTree<2> oracle;
-  oracle.bulk_insert(pts);
-  ASSERT_EQ(oracle.bulk_erase(gone), gone.size());
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
+  ASSERT_EQ(oracle.bulk_erase(gone).value(), gone.size());
   auto boxes = box_queries(96, 0xF00D, 0.2);
   auto nnq = testing::random_points<2>(32, 0x1DEA);
 
   for (size_t f : kFanouts) {
     Sharded<DynamicKdTree<2>> routed(Routing::kRange, f);
-    routed.bulk_insert(pts);
-    EXPECT_EQ(routed.bulk_erase(gone), gone.size());
+    ASSERT_TRUE(routed.bulk_insert(pts).ok());
+    EXPECT_EQ(routed.bulk_erase(gone).value(), gone.size());
     auto rep = routed.range_report_batch(boxes);
     auto ann = routed.ann_batch(nnq, 0.0);
     for (size_t i = 0; i < boxes.size(); ++i) {
@@ -186,11 +186,11 @@ TEST(PlannerEquality, BoundaryStraddlingQueries) {
   // slabs: the overlap predicates must include both sides of a boundary.
   auto ivs = fixed_intervals(kN, 0x0B0E);
   DynamicIntervalTree oracle(4);
-  oracle.bulk_insert(ivs);
+  ASSERT_TRUE(oracle.bulk_insert(ivs).ok());
 
   for (size_t f : {size_t{2}, size_t{4}, size_t{8}}) {
     Sharded<DynamicIntervalTree> routed(Routing::kRange, f, 4);
-    routed.bulk_insert(ivs);
+    ASSERT_TRUE(routed.bulk_insert(ivs).ok());
     ASSERT_EQ(routed.splits().size(), f - 1);
     std::vector<double> qs;
     for (double s : routed.splits()) {
@@ -209,9 +209,9 @@ TEST(PlannerEquality, BoundaryStraddlingQueries) {
   // Boxes spanning several shard slabs along the split dimension.
   auto pts = testing::random_points<2>(16000, 0x57AB);
   LogForest<2> foracle;
-  foracle.bulk_insert(pts);
+  ASSERT_TRUE(foracle.bulk_insert(pts).ok());
   Sharded<LogForest<2>> froutcd(Routing::kRange, 4);
-  froutcd.bulk_insert(pts);
+  ASSERT_TRUE(froutcd.bulk_insert(pts).ok());
   std::vector<geom::Box2> wide;
   for (double s : froutcd.splits()) {
     geom::Box2 b;
@@ -237,8 +237,8 @@ TEST(PlannerEquality, SelectiveQueriesVisitFewerThanFanoutShards) {
   for (size_t f : {size_t{4}, size_t{8}}) {
     Sharded<DynamicIntervalTree> routed(Routing::kRange, f, 4);
     Sharded<DynamicIntervalTree> broadcast(f, 4);
-    routed.bulk_insert(ivs);
-    broadcast.bulk_insert(ivs);
+    ASSERT_TRUE(routed.bulk_insert(ivs).ok());
+    ASSERT_TRUE(broadcast.bulk_insert(ivs).ok());
     routed.stab_batch(qs);
     broadcast.stab_batch(qs);
     EXPECT_EQ(routed.planner_queries(), qs.size());
@@ -251,7 +251,7 @@ TEST(PlannerEquality, SelectiveQueriesVisitFewerThanFanoutShards) {
   auto boxes = box_queries(128, 0x51DE, 0.05);  // narrow along the split dim
   for (size_t f : {size_t{4}, size_t{8}}) {
     Sharded<LogForest<2>> routed(Routing::kRange, f);
-    routed.bulk_insert(pts);
+    ASSERT_TRUE(routed.bulk_insert(pts).ok());
     routed.range_count_batch(boxes);
     EXPECT_EQ(routed.planner_queries(), boxes.size());
     EXPECT_LT(routed.planner_shard_visits(), boxes.size() * f);
@@ -277,14 +277,14 @@ TEST(PlannerEquality, CommitRebalancesSkewedShards) {
   }
 
   DynamicIntervalTree oracle(4);
-  oracle.bulk_insert(uniform);
-  oracle.bulk_insert(skew);
+  ASSERT_TRUE(oracle.bulk_insert(uniform).ok());
+  ASSERT_TRUE(oracle.bulk_insert(skew).ok());
 
   Sharded<DynamicIntervalTree> routed(Routing::kRange, 4, 4);
-  routed.bulk_insert(uniform);
+  ASSERT_TRUE(routed.bulk_insert(uniform).ok());
   EXPECT_EQ(routed.rebalances(), 0u);
   for (const Interval& iv : skew) routed.stage_insert(iv);
-  routed.commit();
+  ASSERT_TRUE(routed.commit().ok());
   EXPECT_GE(routed.rebalances(), 1u);
   EXPECT_EQ(routed.size(), oracle.size());
 
@@ -312,13 +312,15 @@ TEST(PlannerEquality, NegativeZeroRoutesLikePositiveZero) {
   // before hashing now; the erase must succeed at every fanout >= 2.
   for (size_t f : {size_t{2}, size_t{4}, size_t{8}}) {
     Sharded<DynamicIntervalTree> si(f, 4);
-    si.bulk_insert({Interval{0.0, 1.0, 7}});
-    EXPECT_EQ(si.bulk_erase({Interval{-0.0, 1.0, 7}}), 1u) << "fanout " << f;
+    ASSERT_TRUE(si.bulk_insert({Interval{0.0, 1.0, 7}}).ok());
+    EXPECT_EQ(si.bulk_erase({Interval{-0.0, 1.0, 7}}).value(), 1u)
+        << "fanout " << f;
     EXPECT_EQ(si.size(), 0u);
 
     Sharded<LogForest<2>> sf(f);
-    sf.bulk_insert({geom::Point2{{0.0, 0.5}}});
-    EXPECT_EQ(sf.bulk_erase({geom::Point2{{-0.0, 0.5}}}), 1u) << "fanout " << f;
+    ASSERT_TRUE(sf.bulk_insert({geom::Point2{{0.0, 0.5}}}).ok());
+    EXPECT_EQ(sf.bulk_erase({geom::Point2{{-0.0, 0.5}}}).value(), 1u)
+        << "fanout " << f;
     EXPECT_EQ(sf.size(), 0u);
   }
 }
@@ -328,24 +330,24 @@ TEST(PlannerEquality, EmptyBatchesPublishNoVersion) {
   // publishing no-op epochs.
   Sharded<DynamicIntervalTree> si(4, 4);
   EXPECT_EQ(si.version(), 0u);
-  si.bulk_insert({});
+  ASSERT_TRUE(si.bulk_insert({}).ok());
   EXPECT_EQ(si.version(), 0u);
-  EXPECT_EQ(si.bulk_erase({}), 0u);
+  EXPECT_EQ(si.bulk_erase({}).value(), 0u);
   EXPECT_EQ(si.version(), 0u);
-  EXPECT_EQ(si.commit(), 0u);  // nothing staged: version unchanged
+  EXPECT_EQ(si.commit().value(), 0u);  // nothing staged: version unchanged
   EXPECT_EQ(si.version(), 0u);
 
   auto ivs = fixed_intervals(1000, 0xE00);
-  si.bulk_insert(ivs);
+  ASSERT_TRUE(si.bulk_insert(ivs).ok());
   EXPECT_EQ(si.version(), 1u);
-  EXPECT_EQ(si.commit(), 1u);  // still nothing staged
+  EXPECT_EQ(si.commit().value(), 1u);  // still nothing staged
   EXPECT_EQ(si.version(), 1u);
 
   for (const Interval& iv : ivs) si.stage_erase(iv);
-  EXPECT_EQ(si.commit(), 2u);
+  EXPECT_EQ(si.commit().value(), 2u);
   EXPECT_EQ(si.version(), 2u);
   EXPECT_EQ(si.last_commit_erased(), ivs.size());
-  EXPECT_EQ(si.commit(), 2u);  // staged sets were consumed
+  EXPECT_EQ(si.commit().value(), 2u);  // staged sets were consumed
 }
 
 TEST(PlannerEquality, RoutedEpochInterleavingMatchesSerialReplay) {
@@ -374,9 +376,9 @@ TEST(PlannerEquality, RoutedEpochInterleavingMatchesSerialReplay) {
       EXPECT_EQ(before.result(i), sorted_ids(oracle.stab(qs[i])));
     }
 
-    EXPECT_EQ(routed.commit(), named);
-    oracle.bulk_insert(ins);
-    EXPECT_EQ(routed.last_commit_erased(), oracle.bulk_erase(ers));
+    EXPECT_EQ(routed.commit().value(), named);
+    ASSERT_TRUE(oracle.bulk_insert(ins).ok());
+    EXPECT_EQ(routed.last_commit_erased(), oracle.bulk_erase(ers).value());
 
     auto after = routed.stab_batch(qs);
     for (size_t i = 0; i < qs.size(); ++i) {
@@ -400,7 +402,7 @@ TEST(PlannerEquality, PlannedCountsScheduleIndependent) {
   // work-stealing interleavings.
   auto ivs = fixed_intervals(20000, 0x60D);
   Sharded<DynamicIntervalTree> routed(Routing::kRange, 4, 4);
-  routed.bulk_insert(ivs);
+  ASSERT_TRUE(routed.bulk_insert(ivs).ok());
   auto qs = stab_points(200, 0x90D);
   asym::Counts c1, c2;
   {
@@ -425,7 +427,7 @@ TEST(PlannerEquality, PlannedBatchGoldenCounts) {
   // an algorithm's counting legitimately changes, recapture at p=1.
   auto ivs = fixed_intervals(20000, 0x60D);
   Sharded<DynamicIntervalTree> si(Routing::kRange, 4, 4);
-  si.bulk_insert(ivs);
+  ASSERT_TRUE(si.bulk_insert(ivs).ok());
   auto sq = stab_points(200, 0x90D);
   {
     asym::Region region;
@@ -440,7 +442,7 @@ TEST(PlannerEquality, PlannedBatchGoldenCounts) {
 
   auto pts = testing::random_points<2>(20000, 0x60D);
   Sharded<LogForest<2>> sf(Routing::kRange, 4);
-  sf.bulk_insert(pts);
+  ASSERT_TRUE(sf.bulk_insert(pts).ok());
   auto boxes = box_queries(96, 0xE66, 0.2);
   auto nnq = testing::random_points<2>(64, 0xE66);
   {

@@ -96,7 +96,7 @@ TEST(QueryBatchEquality, IntervalTreesStabBatch) {
   auto classic = StaticIntervalTree::build_classic(ivs);
   auto postsorted = StaticIntervalTree::build_postsorted(ivs);
   DynamicIntervalTree dynamic(4);
-  dynamic.bulk_insert(ivs);
+  ASSERT_TRUE(dynamic.bulk_insert(ivs).ok());
   auto qs = stab_points(256, 0xBEEF);
 
   auto bc = classic.stab_batch(qs);
@@ -186,7 +186,7 @@ TEST(QueryBatchEquality, DynamicKdStructuresRangeBatch) {
   kdtree::DynamicKdTree<2> single;
   for (const auto& p : pts) single.insert(p);
   kdtree::LogForest<2> forest;
-  forest.bulk_insert(pts);
+  ASSERT_TRUE(forest.bulk_insert(pts).ok());
   // Erase a slice so the dead-point filtering paths run too.
   for (size_t i = 0; i < pts.size() / 8; ++i) {
     ASSERT_TRUE(single.erase(pts[i]));

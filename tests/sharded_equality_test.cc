@@ -82,12 +82,12 @@ std::vector<geom::Point2> sorted_points(std::vector<geom::Point2> v) {
 TEST(ShardedEquality, StabBatchAllFanouts) {
   auto ivs = fixed_intervals(kN, 0xA11CE);
   DynamicIntervalTree oracle(4);
-  oracle.bulk_insert(ivs);
+  ASSERT_TRUE(oracle.bulk_insert(ivs).ok());
   auto qs = stab_points(256, 0xBEEF);
 
   for (size_t f : kFanouts) {
     Sharded<DynamicIntervalTree> sharded(f, 4);
-    sharded.bulk_insert(ivs);
+    ASSERT_TRUE(sharded.bulk_insert(ivs).ok());
     EXPECT_EQ(sharded.fanout(), f);
     EXPECT_EQ(sharded.size(), oracle.size());
     for (size_t s = 0; s < f; ++s) {
@@ -108,15 +108,15 @@ TEST(ShardedEquality, ForestRangeKnnAnnAllFanouts) {
   auto pts = testing::random_points<2>(20000, 0xFEED);
   std::vector<geom::Point2> gone(pts.begin(), pts.begin() + 2500);
   LogForest<2> oracle;
-  oracle.bulk_insert(pts);
-  ASSERT_EQ(oracle.bulk_erase(gone), gone.size());
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
+  ASSERT_EQ(oracle.bulk_erase(gone).value(), gone.size());
   auto boxes = box_queries(96, 0xABBA);
   auto nnq = testing::random_points<2>(64, 0xACDC);
 
   for (size_t f : kFanouts) {
     Sharded<LogForest<2>> sharded(f);
-    sharded.bulk_insert(pts);
-    EXPECT_EQ(sharded.bulk_erase(gone), gone.size());
+    ASSERT_TRUE(sharded.bulk_insert(pts).ok());
+    EXPECT_EQ(sharded.bulk_erase(gone).value(), gone.size());
     EXPECT_EQ(sharded.size(), oracle.size());
 
     auto rep = sharded.range_report_batch(boxes);
@@ -155,7 +155,7 @@ TEST(ShardedEquality, KnnAnnCanonicalUnderDistanceTies) {
     }
   }
   LogForest<2> oracle;
-  oracle.bulk_insert(pts);
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
   std::vector<geom::Point2> qs;
   for (int x = 0; x < 8; ++x) {
     for (int y = 0; y < 8; ++y) {
@@ -164,7 +164,7 @@ TEST(ShardedEquality, KnnAnnCanonicalUnderDistanceTies) {
   }
   for (size_t f : kFanouts) {
     Sharded<LogForest<2>> sharded(f);
-    sharded.bulk_insert(pts);
+    ASSERT_TRUE(sharded.bulk_insert(pts).ok());
     auto knn = sharded.knn_batch(qs, 6);
     auto ann = sharded.ann_batch(qs, 0.0);
     for (size_t i = 0; i < qs.size(); ++i) {
@@ -180,8 +180,8 @@ TEST(ShardedEquality, DynamicKdTreeBulkMatchesElementwise) {
   std::vector<geom::Point2> gone(pts.begin(), pts.begin() + 2500);
 
   DynamicKdTree<2> bulk;
-  bulk.bulk_insert(pts);
-  EXPECT_EQ(bulk.bulk_erase(gone), gone.size());
+  ASSERT_TRUE(bulk.bulk_insert(pts).ok());
+  EXPECT_EQ(bulk.bulk_erase(gone).value(), gone.size());
   ASSERT_TRUE(bulk.validate());
 
   DynamicKdTree<2> elementwise;
@@ -199,8 +199,8 @@ TEST(ShardedEquality, DynamicKdTreeBulkMatchesElementwise) {
   // The sharded wrapper over the single-tree version: range + ANN equality.
   for (size_t f : kFanouts) {
     Sharded<DynamicKdTree<2>> sharded(f);
-    sharded.bulk_insert(pts);
-    EXPECT_EQ(sharded.bulk_erase(gone), gone.size());
+    ASSERT_TRUE(sharded.bulk_insert(pts).ok());
+    EXPECT_EQ(sharded.bulk_erase(gone).value(), gone.size());
     auto rep = sharded.range_report_batch(boxes);
     auto nnq = testing::random_points<2>(32, 0x1DEA);
     auto ann = sharded.ann_batch(nnq, 0.0);
@@ -241,10 +241,10 @@ TEST(ShardedEquality, EpochInterleavingMatchesSerialReplay) {
       EXPECT_EQ(before.result(i), sorted_ids(oracle.stab(qs[i])));
     }
 
-    EXPECT_EQ(sharded.commit(), named);
+    EXPECT_EQ(sharded.commit().value(), named);
     EXPECT_EQ(sharded.version(), named);
-    oracle.bulk_insert(ins);
-    size_t oracle_erased = oracle.bulk_erase(ers);
+    ASSERT_TRUE(oracle.bulk_insert(ins).ok());
+    size_t oracle_erased = oracle.bulk_erase(ers).value();
     EXPECT_EQ(sharded.last_commit_erased(), oracle_erased);
 
     auto after = sharded.stab_batch(qs);
@@ -281,9 +281,9 @@ TEST(ShardedEquality, ForestEpochInterleaving) {
     for (size_t i = 0; i < live.size(); i += 3) ers.push_back(live[i]);
     for (const auto& p : ins) sharded.stage_insert(p);
     for (const auto& p : ers) sharded.stage_erase(p);
-    sharded.commit();
-    oracle.bulk_insert(ins);
-    EXPECT_EQ(sharded.last_commit_erased(), oracle.bulk_erase(ers));
+    ASSERT_TRUE(sharded.commit().ok());
+    ASSERT_TRUE(oracle.bulk_insert(ins).ok());
+    EXPECT_EQ(sharded.last_commit_erased(), oracle.bulk_erase(ers).value());
 
     auto rep = sharded.range_report_batch(boxes);
     for (size_t i = 0; i < boxes.size(); ++i) {
@@ -306,7 +306,7 @@ TEST(ShardedEquality, ShardedCountsScheduleIndependent) {
   // the same counted accesses regardless of work-stealing interleavings.
   auto ivs = fixed_intervals(20000, 0x60D);
   Sharded<DynamicIntervalTree> sharded(4, 4);
-  sharded.bulk_insert(ivs);
+  ASSERT_TRUE(sharded.bulk_insert(ivs).ok());
   auto qs = stab_points(200, 0x90D);
   asym::Counts c1, c2;
   {
@@ -334,10 +334,10 @@ TEST(ShardedEquality, BulkOpsAndShardedBatchGoldenCounts) {
   {
     asym::Region region;
     DynamicIntervalTree t(4);
-    t.bulk_insert(ivs);
-    ASSERT_EQ(t.bulk_erase(iv_gone), iv_gone.size());
+    ASSERT_TRUE(t.bulk_insert(ivs).ok());
+    ASSERT_EQ(t.bulk_erase(iv_gone).value(), iv_gone.size());
     auto c = region.delta();
-    EXPECT_EQ(c.reads, 2864971u);
+    EXPECT_EQ(c.reads, 2889971u);
     EXPECT_EQ(c.writes, 810919u);
   }
 
@@ -346,24 +346,24 @@ TEST(ShardedEquality, BulkOpsAndShardedBatchGoldenCounts) {
   {
     asym::Region region;
     DynamicKdTree<2> t;
-    t.bulk_insert(pts);
-    ASSERT_EQ(t.bulk_erase(pt_gone), pt_gone.size());
+    ASSERT_TRUE(t.bulk_insert(pts).ok());
+    ASSERT_EQ(t.bulk_erase(pt_gone).value(), pt_gone.size());
     auto c = region.delta();
-    EXPECT_EQ(c.reads, 361912u);
+    EXPECT_EQ(c.reads, 386912u);
     EXPECT_EQ(c.writes, 340486u);
   }
   {
     asym::Region region;
     LogForest<2> t;
-    t.bulk_insert(pts);
-    ASSERT_EQ(t.bulk_erase(pt_gone), pt_gone.size());
+    ASSERT_TRUE(t.bulk_insert(pts).ok());
+    ASSERT_EQ(t.bulk_erase(pt_gone).value(), pt_gone.size());
     auto c = region.delta();
-    EXPECT_EQ(c.reads, 326783u);
+    EXPECT_EQ(c.reads, 351783u);
     EXPECT_EQ(c.writes, 285000u);
   }
 
   Sharded<DynamicIntervalTree> si(4, 4);
-  si.bulk_insert(ivs);
+  ASSERT_TRUE(si.bulk_insert(ivs).ok());
   auto sq = stab_points(200, 0x90D);
   {
     asym::Region region;
@@ -375,7 +375,7 @@ TEST(ShardedEquality, BulkOpsAndShardedBatchGoldenCounts) {
   }
 
   Sharded<LogForest<2>> sf(4);
-  sf.bulk_insert(pts);
+  ASSERT_TRUE(sf.bulk_insert(pts).ok());
   auto boxes = box_queries(96, 0xE66);
   auto nnq = testing::random_points<2>(64, 0xE66);
   {
