@@ -10,10 +10,9 @@
 #
 # Usage:  bench/run_benches.sh [--filter <regex>] [--benchmark-arg <arg>]
 #                              [build-dir]
-#   --filter <regex>  only run benches whose name matches (augtree, sort,
-#                     hull, delaunay, kdtree_dynamic, query_throughput,
-#                     sharded, alpha_tradeoff); the other BENCH files are
-#                     left untouched.
+#   --filter <regex>  only run benches whose name matches; the other BENCH
+#                     files are left untouched. Registered benches (--help
+#                     prints this list from the live registry):
 #   --benchmark-arg <arg>
 #                     extra flag passed through to every bench binary
 #                     (repeatable; e.g. --benchmark-arg
@@ -25,6 +24,22 @@
 # skipped bench would otherwise read as "no regression" in CI).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# name : binary : parallel (yes records an extra WEG_NUM_THREADS=1 baseline)
+# Declared before arg parsing so --help can list every registered bench from
+# the registry itself instead of a hand-maintained (and historically stale)
+# enumeration in the header comment.
+BENCHES=(
+  "augtree:bench_augtree_construction:yes"
+  "sort:bench_sort:no"
+  "hull:bench_hull:yes"
+  "delaunay:bench_delaunay:yes"
+  "kdtree_dynamic:bench_kdtree_dynamic:yes"
+  "query_throughput:bench_query_throughput:yes"
+  "sharded:bench_sharded:yes"
+  "alpha_tradeoff:bench_alpha_tradeoff:no"
+  "serving:bench_serving:yes"
+)
 
 FILTER=""
 BUILD="build/release"
@@ -51,9 +66,19 @@ while [[ $# -gt 0 ]]; do
       ;;
     -h|--help)
       # Print the whole header comment block (everything between the shebang
-      # and the first non-comment line), however long it grows.
+      # and the first non-comment line), then the bench registry itself so
+      # the list can never go stale relative to the BENCHES array.
       awk 'NR == 1 { next } /^#/ { sub(/^# ?/, ""); print; next } { exit }' \
         "$0"
+      for entry in "${BENCHES[@]}"; do
+        name="${entry%%:*}"
+        rest="${entry#*:}"
+        bin="${rest%%:*}"
+        par="${rest#*:}"
+        extra=""
+        [[ "$par" == "yes" ]] && extra=" (+ serial baseline)"
+        printf '  %-18s %s%s\n' "$name" "$bin" "$extra"
+      done
       exit 0
       ;;
     *)
@@ -62,18 +87,6 @@ while [[ $# -gt 0 ]]; do
       ;;
   esac
 done
-
-# name : binary : parallel (yes records an extra WEG_NUM_THREADS=1 baseline)
-BENCHES=(
-  "augtree:bench_augtree_construction:yes"
-  "sort:bench_sort:no"
-  "hull:bench_hull:yes"
-  "delaunay:bench_delaunay:yes"
-  "kdtree_dynamic:bench_kdtree_dynamic:yes"
-  "query_throughput:bench_query_throughput:yes"
-  "sharded:bench_sharded:yes"
-  "alpha_tradeoff:bench_alpha_tradeoff:no"
-)
 
 selected=()
 for entry in "${BENCHES[@]}"; do

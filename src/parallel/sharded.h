@@ -201,6 +201,41 @@ struct ShardTraits<kdtree::DynamicKdTree<K>> : detail::PointRouteTraits<K> {
 };
 
 template <typename Structure>
+class Sharded;
+
+// Read-while-commit snapshot handle. Pins one Sharded replica at one
+// published version for batched reads while a twin replica applies the next
+// epoch's commit (src/serve/engine.h). The handle owns and locks nothing —
+// the serving engine's flip protocol guarantees the pinned replica is not
+// mutated while handles to it are live (commit and read touch disjoint
+// replicas); valid() is the cheap runtime assertion of that protocol: the
+// pinned version is still the replica's published version.
+template <typename Structure>
+class ShardedSnapshot {
+ public:
+  ShardedSnapshot() = default;
+  explicit ShardedSnapshot(const Sharded<Structure>& layer)
+      : layer_(&layer), version_(layer.version()) {}
+
+  bool empty() const { return layer_ == nullptr; }
+  // The epoch this snapshot pinned at construction.
+  uint64_t version() const { return version_; }
+  // True while the pinned replica still serves the pinned epoch. A false
+  // return means something committed into the replica under live readers —
+  // a flip-protocol violation worth crashing a debug build over.
+  bool valid() const {
+    return layer_ != nullptr && layer_->version() == version_;
+  }
+
+  const Sharded<Structure>& operator*() const { return *layer_; }
+  const Sharded<Structure>* operator->() const { return layer_; }
+
+ private:
+  const Sharded<Structure>* layer_ = nullptr;
+  uint64_t version_ = 0;
+};
+
+template <typename Structure>
 class Sharded {
  public:
   using Traits = ShardTraits<Structure>;
@@ -280,6 +315,20 @@ class Sharded {
                 queries_routed_[s].load(std::memory_order_relaxed)};
     }
     return out;
+  }
+
+  // Pins this replica at its current version for read-while-commit serving
+  // (see ShardedSnapshot above and src/serve/engine.h).
+  ShardedSnapshot<Structure> snapshot() const {
+    return ShardedSnapshot<Structure>(*this);
+  }
+
+  // Admission-time screening for the serving engine: one record's
+  // well-formedness, checked where it can fail its own request instead of
+  // poisoning a whole staged epoch. commit() still revalidates the full
+  // batch as a backstop. `ordinal` only labels the error message.
+  static Status validate(const Record& rec, size_t ordinal = 0) {
+    return validate_record(rec, ordinal, "submitted");
   }
 
   // --- epoch-versioned updates -----------------------------------------

@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Fail if docs reference repo paths that do not exist.
+
+Scans docs/*.md and README.md for tokens that look like repo paths
+(src/..., tests/..., bench/..., examples/..., docs/..., tools/...), strips
+any :line suffix, and exits 1 listing every path that is missing from the
+tree — so file moves and renames cannot silently strand the documentation.
+Glob-ish tokens (containing * or <) are skipped.
+"""
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+# The lookbehind keeps /usr/src/... and build/tests/... from matching on
+# their src/ / tests/ substring: a repo path must not be preceded by a path
+# character.
+TOKEN = re.compile(
+    r"(?<![A-Za-z0-9_./-])"
+    r"((?:src|tests|bench|examples|docs|tools)/[A-Za-z0-9_./*<>-]+)")
+
+missing = []
+for md in sorted(ROOT.glob("docs/*.md")) + [ROOT / "README.md"]:
+    for lineno, line in enumerate(md.read_text().splitlines(), 1):
+        for tok in TOKEN.findall(line):
+            if "*" in tok or "<" in tok:
+                continue  # glob / placeholder, not a concrete path
+            path = re.sub(r":\d+(-\d+)?$", "", tok).rstrip(".,;:)")
+            if not (ROOT / path).exists():
+                missing.append(f"{md.relative_to(ROOT)}:{lineno}: {path}")
+
+if missing:
+    print("stale doc links (path does not exist):")
+    print("\n".join(missing))
+    sys.exit(1)
+print("doc links OK")
