@@ -32,6 +32,7 @@ cd "$(dirname "$0")/.."
 BENCHES=(
   "augtree:bench_augtree_construction:yes"
   "sort:bench_sort:no"
+  "semisort:bench_semisort:yes"
   "hull:bench_hull:yes"
   "delaunay:bench_delaunay:yes"
   "kdtree_dynamic:bench_kdtree_dynamic:yes"

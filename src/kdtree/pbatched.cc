@@ -283,7 +283,10 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
       located[i - lo] =
           Located{leaf_rank[leaf], leaf, static_cast<uint32_t>(i)};
     });
-    // (b) semisort by leaf rank.
+    // (b) semisort by leaf rank. Rounds are large, so this rides the
+    // sample-based heavy/light plan: a dense leaf (many points landing in
+    // one buffer) becomes a heavy key with a dedicated bucket and is
+    // grouped without the old O(g log g) local-sort tail.
     auto groups = primitives::semisort_by(
         located, [](const Located& l) { return l.rank; });
     // (c) append each group to its leaf buffer; settle overflows.

@@ -841,6 +841,10 @@ class Sharded {
     // worker count.
     asym::count_read(nq * S);
     asym::count_write(nq);
+    // Shard-set masks are a tiny key universe (often one mask for a whole
+    // batch): small batches take the classic hash-bucket path, large ones
+    // the sampling plan, where every popular mask is a heavy key grouped
+    // without any local sort.
     auto groups =
         primitives::semisort_by(qm, [](const QM& x) { return x.mask; });
     Plan plan;

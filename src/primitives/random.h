@@ -6,6 +6,8 @@
 // "random order" input).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <numeric>
 #include <vector>
@@ -45,6 +47,33 @@ inline uint64_t hash64(uint64_t x) {
   x ^= x >> 33;
   return x;
 }
+
+// Zipf(s) sampler over the key universe [0, num_keys): key k is drawn with
+// probability proportional to 1/(k+1)^s. Inverse-CDF over a precomputed
+// cumulative table — O(num_keys) setup, O(log num_keys) per draw, and fully
+// deterministic given the Rng. This is the skewed-key workload generator for
+// the semisort distribution matrix (tests and bench_semisort): Zipf(1.0) is
+// exactly the heavy/light mix the sampling plan must split well.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t num_keys, double s) : cdf_(num_keys) {
+    double acc = 0;
+    for (size_t k = 0; k < num_keys; ++k) {
+      acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[k] = acc;
+    }
+    for (auto& c : cdf_) c /= acc;
+  }
+
+  uint64_t operator()(Rng& rng) const {
+    double u = rng.next_double();
+    return static_cast<uint64_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
 
 // In-place Knuth shuffle.
 template <typename T>

@@ -1,0 +1,336 @@
+// Sample-based heavy/light semisort (ROADMAP item 3): the sampling plan
+// of the Gu–Shun–Sun–Blelloch semisort (cf. the ParlaySemisort reference
+// code), kept under this repo's determinism contract.
+//
+// Plan (a pure function of the input — no time(0) seeding, no CAS scatter):
+//  1. Sample positions at rate ~1/log2 n with a fixed salt: position i is
+//     sampled iff hash64(i ^ kSemisortSampleSalt) < 2^64/log2 n. The sample
+//     is therefore identical at every worker count, and per-position (not
+//     per-key) sampling is what makes key frequencies estimable.
+//  2. Count sample frequencies of the *hashed* keys. A hash whose sample
+//     count reaches log2 n has true frequency ≈ log2^2 n in expectation
+//     (rate 1/log n × threshold log n) and becomes "heavy": one dedicated
+//     bucket per heavy hash. Everything else is "light" and is sprayed by
+//     hash bits into ~n/4 analytically sized light buckets (expected O(1)
+//     keys per bucket), so no light bucket needs more than a tiny local
+//     sort and no heavy key can degrade one.
+//  3. Place records with per-block histograms + a transposed parallel
+//     exclusive scan + pre-claimed scatter slices. Every record's slot is a
+//     function of (input order, plan), so the permutation — and the bulk
+//     asym charges — are bitwise identical at every worker count. The
+//     snippet's atomic-CAS scatter retry loop is schedule-dependent and
+//     would charge nondeterministic write totals; pre-claimed slices cost
+//     one extra scan instead.
+//  4. Group within buckets block-parallel over buckets. A bucket holding a
+//     single distinct key (every heavy bucket under an injective hash, and
+//     most light buckets) is recognized with one linear equality check and
+//     skips its sort — this removes the old O(g log g) serial tail on
+//     Zipf / all-equal keys. Buckets that do mix keys (hash collisions,
+//     crowded light buckets) sort locally by exact key.
+//  5. Emit group boundaries with a parallel block pass + scan (shared with
+//     the classic small-n path in semisort.h).
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/asym/counters.h"
+#include "src/parallel/parallel_for.h"
+#include "src/primitives/random.h"
+#include "src/primitives/sequence.h"
+
+namespace weg::primitives {
+
+// Observable shape of a semisort run, for tests and benches: how the plan
+// classified the input. Filled by semisort_by_hashed when a non-null pointer
+// is passed; all fields are pure functions of the input.
+struct SemisortStats {
+  size_t n = 0;
+  size_t sample_size = 0;    // positions sampled (fixed for a given n)
+  size_t heavy_keys = 0;     // distinct hashes with dedicated buckets
+  size_t heavy_records = 0;  // records routed to heavy buckets
+  size_t light_buckets = 0;  // analytically sized light-bucket count
+  size_t groups = 0;         // equal-key groups emitted
+  bool sampled = false;      // false: classic small-n hash-bucket path
+};
+
+namespace detail {
+
+// Salt for the positional sample; any fixed odd-ish constant works, it only
+// has to be independent of the key-fingerprint mix so sampling never
+// correlates with bucket placement.
+inline constexpr uint64_t kSemisortSampleSalt = 0x5bd1e995a4c2f1d3ULL;
+
+// Below this size the sampling machinery costs more than it saves and the
+// classic hash-bucket path (semisort.h) runs instead; its buckets stay O(1)
+// expected without a plan.
+inline constexpr size_t kSemisortSampledMinN = 4096;
+
+// Group-boundary emission, parallel (the old serial O(n) tail): per-block
+// boundary counts, an exclusive scan, and pre-claimed emission slices.
+// Charges n reads + (groups + 1) writes — the same totals the serial loop
+// charged, still a pure function of the grouped sequence.
+template <typename T, typename KeyFn>
+std::vector<size_t> emit_group_starts(const std::vector<T>& records,
+                                      KeyFn key) {
+  size_t n = records.size();
+  if (n == 0) return {0};
+  size_t nb = num_blocks(n);
+  std::vector<size_t> counts(nb, 0);
+  parallel::parallel_for(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * kBlockSize, hi = std::min(n, lo + kBlockSize);
+        size_t c = 0;
+        for (size_t i = lo; i < hi; ++i) {
+          c += (i == 0 || key(records[i]) != key(records[i - 1])) ? 1 : 0;
+        }
+        counts[b] = c;
+      },
+      1);
+  size_t total = scan_exclusive_raw(counts.data(), nb);
+  std::vector<size_t> starts(total + 1);
+  parallel::parallel_for(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * kBlockSize, hi = std::min(n, lo + kBlockSize);
+        size_t pos = counts[b];
+        for (size_t i = lo; i < hi; ++i) {
+          if (i == 0 || key(records[i]) != key(records[i - 1])) {
+            starts[pos++] = i;
+          }
+        }
+      },
+      1);
+  starts[total] = n;
+  asym::count_read(n);
+  asym::count_write(total + 1);
+  return starts;
+}
+
+// Local per-bucket grouping, block-parallel over buckets (the old code ran
+// this as one serial loop). Single-key buckets are detected with a linear
+// equality sweep and skip the sort; mixed buckets sort by exact key and
+// charge their record moves. The caller charges the n-read sweep in bulk.
+template <typename T, typename KeyFn>
+void group_buckets(std::vector<T>& records, const std::vector<size_t>& offsets,
+                   KeyFn key) {
+  parallel::parallel_for(0, offsets.size() - 1, [&](size_t b) {
+    size_t lo = offsets[b], hi = offsets[b + 1];
+    if (hi - lo <= 1) return;
+    auto k0 = key(records[lo]);
+    bool uniform = true;
+    for (size_t i = lo + 1; i < hi && uniform; ++i) {
+      uniform = key(records[i]) == k0;
+    }
+    if (uniform) return;
+    std::sort(records.begin() + static_cast<ptrdiff_t>(lo),
+              records.begin() + static_cast<ptrdiff_t>(hi),
+              [&](const T& x, const T& y) { return key(x) < key(y); });
+    asym::count_write(hi - lo);
+  });
+}
+
+// Open-addressing map from heavy hash -> dedicated bucket id. Sized at 4x
+// the heavy count (load <= 1/4, short linear probes) and built serially in
+// ascending-hash order, so slot contents are deterministic. Symmetric-memory
+// scratch: O(sample / log n) entries, never charged.
+struct HeavyTable {
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t id = UINT32_MAX;
+  };
+  std::vector<Slot> slots;
+  uint64_t mask = 0;
+
+  explicit HeavyTable(const std::vector<uint64_t>& heavy_sorted) {
+    size_t cap = 16;
+    while (cap < 4 * heavy_sorted.size()) cap <<= 1;
+    slots.assign(cap, Slot{});
+    mask = cap - 1;
+    for (size_t i = 0; i < heavy_sorted.size(); ++i) {
+      size_t idx = heavy_sorted[i] & mask;
+      while (slots[idx].id != UINT32_MAX) idx = (idx + 1) & mask;
+      slots[idx] = Slot{heavy_sorted[i], static_cast<uint32_t>(i)};
+    }
+  }
+
+  // Returns the dedicated bucket id or UINT32_MAX.
+  uint32_t lookup(uint64_t h) const {
+    size_t idx = h & mask;
+    while (true) {
+      const Slot& s = slots[idx];
+      if (s.id == UINT32_MAX || s.hash == h) return s.id;
+      idx = (idx + 1) & mask;
+    }
+  }
+};
+
+// Hashes appearing >= threshold times in the sample, ascending. Serial over
+// the O(n / log n) sample with an open-addressing counter table (symmetric
+// scratch, uncharged); deterministic because the sample order and the final
+// sort are.
+inline std::vector<uint64_t> heavy_hashes(const std::vector<uint64_t>& sample,
+                                          size_t threshold) {
+  size_t cap = 16;
+  while (cap < 2 * sample.size()) cap <<= 1;
+  struct Cell {
+    uint64_t hash = 0;
+    uint32_t count = 0;
+  };
+  std::vector<Cell> table(cap);
+  uint64_t mask = cap - 1;
+  std::vector<uint64_t> heavy;
+  for (uint64_t h : sample) {
+    size_t idx = h & mask;
+    while (table[idx].count != 0 && table[idx].hash != h) {
+      idx = (idx + 1) & mask;
+    }
+    table[idx].hash = h;
+    if (++table[idx].count == threshold) heavy.push_back(h);
+  }
+  std::sort(heavy.begin(), heavy.end());
+  return heavy;
+}
+
+// The sampled heavy/light semisort. Requires n >= kSemisortSampledMinN (the
+// dispatcher in semisort.h guarantees it); HashFn must map equal keys to
+// equal 64-bit fingerprints.
+template <typename T, typename KeyFn, typename HashFn>
+std::vector<size_t> semisort_sampled(std::vector<T>& records, KeyFn key,
+                                     HashFn hash, SemisortStats* stats) {
+  size_t n = records.size();
+  size_t logn = std::bit_width(n);  // >= 13 for n >= 4096
+  size_t nb = num_blocks(n);
+
+  // --- 1. Deterministic positional sample at rate 1/log2 n. --------------
+  uint64_t limit = UINT64_MAX / logn;
+  auto sampled_at = [&](size_t i) {
+    return hash64(static_cast<uint64_t>(i) ^ kSemisortSampleSalt) < limit;
+  };
+  std::vector<size_t> scount(nb, 0);
+  parallel::parallel_for(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * kBlockSize, hi = std::min(n, lo + kBlockSize);
+        size_t c = 0;
+        for (size_t i = lo; i < hi; ++i) c += sampled_at(i) ? 1 : 0;
+        scount[b] = c;
+      },
+      1);
+  size_t sample_size = scan_exclusive_raw(scount.data(), nb);
+  std::vector<uint64_t> sample(sample_size);
+  parallel::parallel_for(
+      0, nb,
+      [&](size_t b) {
+        size_t lo = b * kBlockSize, hi = std::min(n, lo + kBlockSize);
+        size_t pos = scount[b];
+        for (size_t i = lo; i < hi; ++i) {
+          if (sampled_at(i)) {
+            sample[pos++] = hash(static_cast<uint64_t>(key(records[i])));
+          }
+        }
+      },
+      1);
+  asym::count_read(sample_size);  // only sampled records are fetched
+
+  // --- 2. Heavy/light split. ---------------------------------------------
+  // Sample count >= log2 n  =>  estimated true frequency >= log2^2 n.
+  auto heavy = heavy_hashes(sample, logn);
+  size_t num_heavy = heavy.size();
+  HeavyTable heavy_table(heavy);
+  // Light buckets: expected O(1) keys per bucket (~n/4 of them, like the
+  // classic path) but capped at 2^18 instead of the old 2^16 — the adaptive
+  // block below keeps the counter bookkeeping at O(n) words regardless, so
+  // the cap is purely a memory-vs-locality knob, not a correctness cliff.
+  size_t num_light = 1;
+  while (num_light < n / 4 + 16 && num_light < (1u << 18)) num_light <<= 1;
+  size_t num_buckets = num_heavy + num_light;
+
+  // --- 3. Placement: per-block histograms + transposed scan + scatter. ---
+  // Blocks adapt to the bucket count so the (block x bucket) counter matrix
+  // stays at <= ~2n + O(buckets) uint32 words; at least 4 blocks keeps the
+  // placement passes steallable.
+  size_t pb = (n + kSemisortSampledMinN - 1) / kSemisortSampledMinN;
+  size_t max_pb = std::max<size_t>(4, (2 * n) / num_buckets);
+  if (pb > max_pb) pb = max_pb;
+  size_t block = (n + pb - 1) / pb;
+  pb = (n + block - 1) / block;
+
+  std::vector<uint32_t> bucket_of(n);
+  std::vector<uint32_t> hist(pb * num_buckets, 0);
+  parallel::parallel_for(
+      0, pb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        uint32_t* h = hist.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) {
+          uint64_t hv = hash(static_cast<uint64_t>(key(records[i])));
+          uint32_t id = num_heavy != 0 ? heavy_table.lookup(hv) : UINT32_MAX;
+          if (id == UINT32_MAX) {
+            id = static_cast<uint32_t>(num_heavy + (hv & (num_light - 1)));
+          }
+          bucket_of[i] = id;
+          ++h[id];
+        }
+      },
+      1);
+  asym::count_read(n);
+
+  // Transposed exclusive scan: column-major (bucket-major) order gives each
+  // bucket its blocks in rank order; the scan itself is the shared blocked
+  // parallel core. Counter matrices are bookkeeping, uncharged as always.
+  std::vector<uint32_t> col(pb * num_buckets);
+  parallel::parallel_for(0, num_buckets, [&](size_t k) {
+    for (size_t b = 0; b < pb; ++b) {
+      col[k * pb + b] = hist[b * num_buckets + k];
+    }
+  });
+  scan_exclusive_raw(col.data(), col.size());
+  std::vector<size_t> offsets(num_buckets + 1);
+  parallel::parallel_for(0, num_buckets,
+                         [&](size_t k) { offsets[k] = col[k * pb]; });
+  offsets[num_buckets] = n;
+  parallel::parallel_for(0, num_buckets, [&](size_t k) {
+    for (size_t b = 0; b < pb; ++b) {
+      hist[b * num_buckets + k] = col[k * pb + b];
+    }
+  });
+  asym::count_write(num_buckets);
+
+  std::vector<T> out(n);
+  parallel::parallel_for(
+      0, pb,
+      [&](size_t b) {
+        size_t lo = b * block, hi = std::min(n, lo + block);
+        uint32_t* h = hist.data() + b * num_buckets;
+        for (size_t i = lo; i < hi; ++i) out[h[bucket_of[i]]++] = records[i];
+      },
+      1);
+  asym::count_write(n);
+  records.swap(out);
+
+  // --- 4./5. Local grouping + boundary emission. -------------------------
+  asym::count_read(n);  // the equality sweep / sort-key fetches, in bulk
+  group_buckets(records, offsets, key);
+  auto starts = emit_group_starts(records, key);
+
+  if (stats != nullptr) {
+    *stats = SemisortStats{};
+    stats->n = n;
+    stats->sample_size = sample_size;
+    stats->heavy_keys = num_heavy;
+    stats->heavy_records = offsets[num_heavy];
+    stats->light_buckets = num_light;
+    stats->groups = starts.size() - 1;
+    stats->sampled = true;
+  }
+  return starts;
+}
+
+}  // namespace detail
+
+}  // namespace weg::primitives

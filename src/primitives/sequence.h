@@ -51,14 +51,16 @@ T reduce_add(const std::vector<T>& a) {
   return reduce(a, T{}, std::plus<T>{});
 }
 
-// Exclusive prefix sum, in place; returns the overall total. Two-pass blocked
-// scan: O(n) work (n reads + n writes to large memory), O(log n) depth.
+namespace detail {
+
+// Core of the two-pass blocked exclusive scan, without asym charging: the
+// shared engine for scan_exclusive below (which charges its traffic) and for
+// scans over uncharged bookkeeping buffers — the per-block histogram offsets
+// in counting_sort / the sampling semisort, which model scratch counters the
+// same way the histograms themselves always have.
 template <typename T>
-T scan_exclusive(std::vector<T>& a) {
-  size_t n = a.size();
+T scan_exclusive_raw(T* a, size_t n) {
   if (n == 0) return T{};
-  asym::count_read(n);
-  asym::count_write(n);
   size_t nb = num_blocks(n);
   std::vector<T> sums(nb);
   parallel::parallel_for(
@@ -89,6 +91,19 @@ T scan_exclusive(std::vector<T>& a) {
       },
       1);
   return total;
+}
+
+}  // namespace detail
+
+// Exclusive prefix sum, in place; returns the overall total. Two-pass blocked
+// scan: O(n) work (n reads + n writes to large memory), O(log n) depth.
+template <typename T>
+T scan_exclusive(std::vector<T>& a) {
+  size_t n = a.size();
+  if (n == 0) return T{};
+  asym::count_read(n);
+  asym::count_write(n);
+  return detail::scan_exclusive_raw(a.data(), n);
 }
 
 // Stable parallel pack: keeps a[i] where flag(i) is true. O(n) reads, output-

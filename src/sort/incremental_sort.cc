@@ -320,7 +320,9 @@ std::unique_ptr<Tree> build_we_tree(const std::vector<uint64_t>& keys,
       traced[i - lo] = Traced{bucket, e};
     });
 
-    // Step 2 — semisort by bucket id.
+    // Step 2 — semisort by bucket id. Late rounds trace most keys into few
+    // buckets (and frozen paths all share kPostponed), exactly the skew the
+    // sampling semisort's heavy-key buckets absorb in O(n).
     auto groups = primitives::semisort_by(
         traced, [](const Traced& t) { return t.bucket; });
 

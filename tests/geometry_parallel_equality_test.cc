@@ -123,8 +123,12 @@ TEST(GeometryParallelEquality, HullCountsMatchSerialGolden) {
   convex_hull(pts, hull::SortMode::kWriteEfficient, &c2);
   EXPECT_EQ(c1.cost.reads, c2.cost.reads);
   EXPECT_EQ(c1.cost.writes, c2.cost.writes);
-  EXPECT_EQ(c1.cost.reads, 2269267u);
-  EXPECT_EQ(c1.cost.writes, 343851u);
+  // Recaptured for the sampling semisort: the write-efficient hull sorts
+  // its chains through incremental-sort rounds, whose large rounds now take
+  // the heavy/light plan (+52785 reads: sample fetches + separately charged
+  // grouping sweeps; +39409 writes: the now-charged local bucket sorts).
+  EXPECT_EQ(c1.cost.reads, 2322052u);
+  EXPECT_EQ(c1.cost.writes, 383260u);
 }
 
 // ---------------------------------------------------------------------------
@@ -224,8 +228,13 @@ TEST(GeometryParallelEquality, KdBuildCountsMatchSerialGolden) {
   EXPECT_EQ(p1.cost.writes, p2.cost.writes);
   EXPECT_EQ(c1.cost.reads, 650000u);
   EXPECT_EQ(c1.cost.writes, 700000u);
-  EXPECT_EQ(p1.cost.reads, 449385u);
-  EXPECT_EQ(p1.cost.writes, 328289u);
+  // Recaptured for the sampling semisort: pbatched rounds semisort by leaf
+  // rank through the heavy/light plan (+52785 reads, as in the hull golden
+  // above). Writes moved by only +14 — leaf-rank buckets are single-key, so
+  // the plan places every round with pre-claimed slices and almost no local
+  // sorting: the O(n)-writes contract is intact.
+  EXPECT_EQ(p1.cost.reads, 502170u);
+  EXPECT_EQ(p1.cost.writes, 328303u);
 }
 
 TEST(GeometryParallelEquality, DynamicKdTreeRebuildsMatchBruteForce) {

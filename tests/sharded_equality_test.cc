@@ -337,8 +337,12 @@ TEST(ShardedEquality, BulkOpsAndShardedBatchGoldenCounts) {
     ASSERT_TRUE(t.bulk_insert(ivs).ok());
     ASSERT_EQ(t.bulk_erase(iv_gone).value(), iv_gone.size());
     auto c = region.delta();
-    EXPECT_EQ(c.reads, 2889971u);
-    EXPECT_EQ(c.writes, 810919u);
+    // Recaptured for the sampling semisort (interval bulk ops rebuild via
+    // the write-efficient sort, whose large rounds now take the heavy/light
+    // plan): +42226 reads are the separately charged sample fetches and
+    // grouping sweeps, +28731 writes the now-charged local bucket sorts.
+    EXPECT_EQ(c.reads, 2932197u);
+    EXPECT_EQ(c.writes, 839650u);
   }
 
   auto pts = testing::random_points<2>(20000, 0x60D);
