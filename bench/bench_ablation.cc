@@ -51,7 +51,7 @@ void BM_A1_SplitRule(benchmark::State& state) {
     b.lo[1] = double(rng.next_bounded(5)) * 0.2 + 0.02;
     b.hi[0] = b.lo[0] + 0.02;
     b.hi[1] = b.lo[1] + 0.08;
-    hits += tree.range_count(b, &qs);
+    hits += tree.range_count(b, kdtree::QueryOptions{&qs});
   }
   benchmark::DoNotOptimize(hits);
   state.counters["query_nodes_avg"] = double(qs.nodes_visited) / 200.0;

@@ -61,7 +61,7 @@ void BM_KdPSweep(benchmark::State& state) {
   slab.hi[0] = 0.501;
   slab.lo[1] = -1;
   slab.hi[1] = 2;
-  tree.range_count(slab, &qs);
+  tree.range_count(slab, kdtree::QueryOptions{&qs});
   state.counters["slab_nodes_visited"] = double(qs.nodes_visited);
 }
 

@@ -63,8 +63,8 @@ void BM_QueryForestVsSingle(benchmark::State& state) {
   q.hi[0] = q.hi[1] = 0.6;
   kdtree::QueryStats qf, qt;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(f.range_count(q, &qf));
-    benchmark::DoNotOptimize(t.range_count(q, &qt));
+    benchmark::DoNotOptimize(f.range_count(q, kdtree::QueryOptions{&qf}));
+    benchmark::DoNotOptimize(t.range_count(q, kdtree::QueryOptions{&qt}));
   }
   state.counters["forest_nodes"] = double(qf.nodes_visited);
   state.counters["single_nodes"] = double(qt.nodes_visited);

@@ -103,6 +103,58 @@ void BM_StabLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_StabLoop)->Arg(1024)->UseRealTime();
 
+// Mixed-selectivity count boxes: one in eight covers the whole index, the
+// rest are the usual 2% windows — the wide ones exercise the
+// covered-subtree fast path (answered from subtree counts in O(log n)
+// instead of scanning O(n) points).
+std::vector<geom::Box2> make_count_boxes(size_t q, uint64_t seed) {
+  auto boxes = make_boxes(q, seed);
+  for (size_t i = 0; i < boxes.size(); i += 8) {
+    boxes[i].lo[0] = boxes[i].lo[1] = -1.0;
+    boxes[i].hi[0] = boxes[i].hi[1] = 2.0;
+  }
+  return boxes;
+}
+
+void BM_CountBatch(benchmark::State& state) {
+  const auto& tree = kd_index();
+  size_t q = static_cast<size_t>(state.range(0));
+  auto boxes = make_count_boxes(q, 7);
+  for (auto _ : state) {
+    auto r = tree.range_count_batch(boxes);
+    benchmark::DoNotOptimize(r.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+  // nodes_skipped: extra nodes the same batch visits with the fast path
+  // killed (one untimed serial stats pass per setting).
+  kdtree::QueryStats on, off;
+  kdtree::QueryOptions opt_on{&on};
+  kdtree::QueryOptions opt_off{&off};
+  opt_off.count_fast_path = false;
+  for (const auto& b : boxes) {
+    tree.range_count(b, opt_on);
+    tree.range_count(b, opt_off);
+  }
+  state.counters["nodes_skipped"] =
+      static_cast<double>(off.nodes_visited - on.nodes_visited);
+  state.counters["covered_subtrees"] =
+      static_cast<double>(on.covered_subtrees);
+}
+BENCHMARK(BM_CountBatch)->Arg(64)->Arg(1024)->Arg(16384)->UseRealTime();
+
+void BM_CountLoop(benchmark::State& state) {
+  const auto& tree = kd_index();
+  size_t q = static_cast<size_t>(state.range(0));
+  auto boxes = make_count_boxes(q, 7);
+  for (auto _ : state) {
+    size_t total = 0;
+    for (const auto& b : boxes) total += tree.range_count(b);
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_CountLoop)->Arg(1024)->UseRealTime();
+
 void BM_KnnBatch(benchmark::State& state) {
   const auto& tree = kd_index();
   size_t q = static_cast<size_t>(state.range(0));

@@ -213,6 +213,58 @@ void BM_PlannedKnnBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_PlannedKnnBatch)->Apply(ShardedArgs)->UseRealTime();
 
+// Clustered twin for the bound-driven knn pruning row: records concentrate
+// in four clusters along the routing dimension, so each range shard's cover
+// box is tight and probes near cluster centers let the planner's cover-box
+// distance bound skip the far shards entirely.
+Sharded<LogForest<2>>& forest_index_clustered(size_t fanout) {
+  static std::unique_ptr<Sharded<LogForest<2>>> cache[9];
+  auto& slot = cache[fanout];
+  if (!slot) {
+    slot = std::make_unique<Sharded<LogForest<2>>>(Routing::kRange, fanout);
+    primitives::Rng rng(0x5EED);
+    std::vector<geom::Point2> pts(kIndexN);
+    for (size_t i = 0; i < pts.size(); ++i) {
+      double cx = 0.125 + 0.25 * static_cast<double>(i % 4);
+      pts[i] = geom::Point2{{cx + (rng.next_double() - 0.5) * 0.05,
+                             rng.next_double()}};
+    }
+    (void)slot->bulk_insert(pts);
+  }
+  return *slot;
+}
+
+void BM_PrunedKnnBatch(benchmark::State& state) {
+  size_t fanout = static_cast<size_t>(state.range(0));
+  auto& idx = forest_index_clustered(fanout);
+  size_t q = static_cast<size_t>(state.range(1));
+  primitives::Rng rng(0xB0B);
+  std::vector<geom::Point2> pts(q);
+  for (auto& p : pts) {
+    double cx = 0.125 + 0.25 * static_cast<double>(rng.next_bounded(4));
+    p = geom::Point2{{cx + (rng.next_double() - 0.5) * 0.05,
+                      rng.next_double()}};
+  }
+  VisitCounter counter(idx);
+  uint64_t queries0 = idx.planner_queries();
+  uint64_t visits0 = idx.planner_shard_visits();
+  for (auto _ : state) {
+    auto r = idx.knn_batch(pts, 8);
+    benchmark::DoNotOptimize(r.total());
+  }
+  counter.report(state);
+  // shards_pruned: per query, how many of the fanout shards the running
+  // k-th-candidate bound let the planner skip.
+  double dq = static_cast<double>(idx.planner_queries() - queries0);
+  if (dq > 0) {
+    state.counters["shards_pruned"] =
+        static_cast<double>(fanout) -
+        static_cast<double>(idx.planner_shard_visits() - visits0) / dq;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * q));
+}
+BENCHMARK(BM_PrunedKnnBatch)->Apply(ShardedArgs)->UseRealTime();
+
 // Epoch update throughput: each iteration is one serving epoch — stage
 // `batch` fresh inserts plus the previous iteration's batch as erasures,
 // then commit. The live size stays ~kCommitN, so iterations are comparable.

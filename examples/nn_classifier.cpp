@@ -55,26 +55,24 @@ int main(int argc, char** argv) {
               "(p-batched, Theorem 6.1)\n",
               train_n, bs.height, double(bs.cost.writes) / double(train_n));
 
-  // The tree reorders points; recover labels by position lookup.
-  // (Points are continuous doubles: exact matches identify originals.)
-  std::vector<int> tree_labels(train_n);
-  {
-    // Build a map via sorted order of (x, y) - both arrays hold the same
-    // multiset, so sort indices of each by coordinates and align.
-    auto order_of = [](const std::vector<geom::Point2>& pts) {
-      std::vector<uint32_t> idx(pts.size());
-      for (size_t i = 0; i < pts.size(); ++i) {
-        idx[i] = static_cast<uint32_t>(i);
-      }
-      std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
-        return pts[a][0] < pts[b][0] ||
-               (pts[a][0] == pts[b][0] && pts[a][1] < pts[b][1]);
-      });
-      return idx;
-    };
-    auto oi = order_of(train), ot = order_of(index.points());
-    for (size_t i = 0; i < train_n; ++i) tree_labels[ot[i]] = labels[oi[i]];
-  }
+  // The batch APIs return neighbor *points*; recover each point's label by
+  // coordinate lookup. (Points are continuous doubles: exact matches
+  // identify originals.)
+  std::vector<std::pair<geom::Point2, int>> keyed(train_n);
+  for (size_t i = 0; i < train_n; ++i) keyed[i] = {train[i], labels[i]};
+  std::sort(keyed.begin(), keyed.end(), [](const auto& a, const auto& b) {
+    return a.first[0] < b.first[0] ||
+           (a.first[0] == b.first[0] && a.first[1] < b.first[1]);
+  });
+  auto label_of = [&](const geom::Point2& p) {
+    auto it = std::lower_bound(
+        keyed.begin(), keyed.end(), p,
+        [](const std::pair<geom::Point2, int>& a, const geom::Point2& b) {
+          return a.first[0] < b[0] ||
+                 (a.first[0] == b[0] && a.first[1] < b[1]);
+        });
+    return it->second;
+  };
 
   // Classify the whole test set with one batched k-NN call: the flat result
   // holds test point t's neighbors in slice t, written in parallel into
@@ -90,8 +88,8 @@ int main(int argc, char** argv) {
   size_t correct = 0;
   for (size_t t = 0; t < test_n; ++t) {
     int votes[kClasses] = {0, 0, 0, 0};
-    for (const size_t* it = nn.begin(t); it != nn.end(t); ++it) {
-      votes[tree_labels[*it]]++;
+    for (const geom::Point2* it = nn.begin(t); it != nn.end(t); ++it) {
+      votes[label_of(*it)]++;
     }
     int best = 0;
     for (int c = 1; c < kClasses; ++c) {
@@ -105,7 +103,9 @@ int main(int argc, char** argv) {
   // accumulation is a serial-path feature).
   kdtree::QueryStats qs;
   size_t sample_n = std::min<size_t>(test_n, 200);
-  for (size_t t = 0; t < sample_n; ++t) index.knn(tests[t], k, &qs);
+  for (size_t t = 0; t < sample_n; ++t) {
+    index.knn(tests[t], k, kdtree::QueryOptions{&qs});
+  }
   std::printf("avg query cost: %.1f nodes visited, %.1f points scanned\n",
               double(qs.nodes_visited) / double(sample_n),
               double(qs.points_scanned) / double(sample_n));
@@ -126,10 +126,13 @@ int main(int argc, char** argv) {
     size_t agree = 0;
     kdtree::QueryStats aq;
     for (size_t t = 0; t < aq_pts.size(); ++t) {
-      agree += (tree_labels[exact[t]] == tree_labels[approx[t]]) ? 1 : 0;
+      agree += (exact[t] && approx[t] &&
+                label_of(*exact[t]) == label_of(*approx[t]))
+                   ? 1
+                   : 0;
     }
     for (size_t t = 0; t < ann_sample; ++t) {
-      index.ann(aq_pts[t], eps, &aq);
+      index.ann(aq_pts[t], eps, kdtree::QueryOptions{&aq});
     }
     std::printf("ANN eps=%.1f: %.1f nodes/query, label agreement with exact "
                 "NN %.1f%%\n",

@@ -50,10 +50,12 @@ struct BoxK {
     return true;
   }
 
-  // True iff this box is fully inside `o`.
+  // True iff this box is fully inside `o`. Positive formulation so NaN
+  // bounds in `o` never satisfy containment — the covered-subtree fast
+  // paths must agree with the (NaN-rejecting) split-plane traversal.
   bool inside(const BoxK& o) const {
     for (int d = 0; d < K; ++d) {
-      if (lo[d] < o.lo[d] || hi[d] > o.hi[d]) return false;
+      if (!(o.lo[d] <= lo[d] && hi[d] <= o.hi[d])) return false;
     }
     return true;
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <queue>
 #include <utility>
 
 #include "src/parallel/fault.h"
@@ -198,68 +199,115 @@ void LogForest<K>::rebuild_from(std::vector<Point> pts) {
   dst.used = true;
 }
 
+namespace {
+
+// Forest range visitors with the level-covered hook: a dead-free level whose
+// subtree box is inside the query hands its slice over wholesale (see
+// LogForest::range_visit). The counting hook is O(1); the reporting hooks
+// bulk-copy the slice (one read + one write per reported point, no
+// containment tests).
+template <typename Point>
+struct ForestCountVisitor {
+  size_t count = 0;
+  void operator()(const Point&) { ++count; }
+  void covered(const std::vector<Point>&, size_t b, size_t e) {
+    count += e - b;
+  }
+};
+
+template <typename Point>
+struct ForestReportAppendVisitor {
+  std::vector<Point>* out;
+  void operator()(const Point& p) {
+    asym::count_write();
+    out->push_back(p);
+  }
+  void covered(const std::vector<Point>& pts, size_t b, size_t e) {
+    asym::count_read(e - b);
+    asym::count_write(e - b);
+    out->insert(out->end(), pts.begin() + static_cast<long>(b),
+                pts.begin() + static_cast<long>(e));
+  }
+};
+
+template <typename Point>
+struct ForestReportIntoVisitor {
+  Point* out;
+  void operator()(const Point& p) {
+    asym::count_write();
+    *out++ = p;
+  }
+  void covered(const std::vector<Point>& pts, size_t b, size_t e) {
+    asym::count_read(e - b);
+    asym::count_write(e - b);
+    out = std::copy(pts.begin() + static_cast<long>(b),
+                    pts.begin() + static_cast<long>(e), out);
+  }
+};
+
+}  // namespace
+
 template <int K>
-size_t LogForest<K>::range_count(const Box& query, QueryStats* qs) const {
-  size_t total = 0;
-  range_visit(
-      query, [&](const Point&) { ++total; }, qs);
-  return total;
+size_t LogForest<K>::range_count(const Box& query,
+                                 const QueryOptions& opts) const {
+  ForestCountVisitor<Point> vis;
+  range_visit(query, vis, opts);
+  return vis.count;
 }
 
 template <int K>
 std::vector<typename LogForest<K>::Point> LogForest<K>::range_report(
-    const Box& query, QueryStats* qs) const {
+    const Box& query, const QueryOptions& opts) const {
   std::vector<Point> out;
-  range_visit(
-      query,
-      [&](const Point& p) {
-        asym::count_write();
-        out.push_back(p);
-      },
-      qs);
+  ForestReportAppendVisitor<Point> vis{&out};
+  range_visit(query, vis, opts);
   return out;
 }
 
 template <int K>
 std::vector<size_t> LogForest<K>::range_count_batch(
-    const std::vector<Box>& qs) const {
+    const std::vector<Box>& qs, const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_map<size_t>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+      qs.size(), [&](size_t i) { return range_count(qs[i], bs.at(i)); });
 }
 
 template <int K>
 parallel::BatchResult<typename LogForest<K>::Point>
-LogForest<K>::range_report_batch(const std::vector<Box>& qs) const {
+LogForest<K>::range_report_batch(const std::vector<Box>& qs,
+                                 const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
+  // Stats from the count pass are not double-counted: only the report pass
+  // feeds the per-query slots.
+  QueryOptions count_opts = opts;
+  count_opts.stats = nullptr;
   return parallel::batch_two_phase<Point>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      qs.size(), [&](size_t i) { return range_count(qs[i], count_opts); },
       [&](size_t i, Point* out) {
-        range_visit(
-            qs[i],
-            [&](const Point& p) {
-              asym::count_write();
-              *out++ = p;
-            },
-            nullptr);
+        ForestReportIntoVisitor<Point> vis{out};
+        range_visit(qs[i], vis, bs.at(i));
       });
 }
 
 template <int K>
 std::vector<std::optional<typename LogForest<K>::Point>>
-LogForest<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
+LogForest<K>::ann_batch(const std::vector<Point>& qs, double eps,
+                        const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_map<std::optional<Point>>(
-      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
+      qs.size(), [&](size_t i) { return ann(qs[i], eps, bs.at(i)); });
 }
 
 template <int K>
 std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
-    const Point& q, double eps, QueryStats* qs) const {
+    const Point& q, double eps, const QueryOptions& opts) const {
   if (!finite_point<K>(q)) return std::nullopt;
   std::optional<Point> best;
   double best_sq = std::numeric_limits<double>::infinity();
   for (const Level& L : levels_) {
     if (!L.used) continue;
     if (L.dead == 0) {
-      size_t idx = L.tree.ann(q, eps, qs);
+      size_t idx = L.tree.ann(q, eps, opts);
       if (idx == SIZE_MAX) continue;
       double d2 = geom::squared_distance(L.tree.points()[idx], q);
       // Canonical (distance, coordinates) order on cross-level ties.
@@ -274,7 +322,7 @@ std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
       const auto& pts = L.tree.points();
       size_t k = 2;
       while (k < 2 * pts.size()) {
-        auto cand = L.tree.knn(q, k, qs);
+        auto cand = L.tree.knn(q, k, opts);
         bool found = false;
         for (size_t idx : cand) {
           if (L.alive[idx]) {
@@ -298,14 +346,15 @@ std::optional<typename LogForest<K>::Point> LogForest<K>::ann(
 
 template <int K>
 std::vector<std::pair<double, typename LogForest<K>::Point>>
-LogForest<K>::knn_candidates(const Point& q, size_t k, QueryStats* qs) const {
+LogForest<K>::knn_candidates(const Point& q, size_t k,
+                             const QueryOptions& opts) const {
   std::vector<std::pair<double, Point>> cand;
   if (k == 0 || live_ == 0 || !finite_point<K>(q)) return cand;
   for (const Level& L : levels_) {
     if (!L.used) continue;
     const auto& pts = L.tree.points();
     if (L.dead == 0) {
-      for (size_t idx : L.tree.knn(q, k, qs)) {
+      for (size_t idx : L.tree.knn(q, k, opts)) {
         cand.emplace_back(geom::squared_distance(pts[idx], q), pts[idx]);
       }
       continue;
@@ -318,7 +367,7 @@ LogForest<K>::knn_candidates(const Point& q, size_t k, QueryStats* qs) const {
     if (want == 0) continue;
     size_t kk = k;
     while (true) {
-      auto res = L.tree.knn(q, kk, qs);
+      auto res = L.tree.knn(q, kk, opts);
       std::vector<size_t> live_idx;
       for (size_t idx : res) {
         if (L.alive[idx]) live_idx.push_back(idx);
@@ -349,8 +398,8 @@ LogForest<K>::knn_candidates(const Point& q, size_t k, QueryStats* qs) const {
 
 template <int K>
 std::vector<typename LogForest<K>::Point> LogForest<K>::knn(
-    const Point& q, size_t k, QueryStats* qs) const {
-  auto cand = knn_candidates(q, k, qs);
+    const Point& q, size_t k, const QueryOptions& opts) const {
+  auto cand = knn_candidates(q, k, opts);
   std::vector<Point> out;
   out.reserve(cand.size());
   asym::count_write(cand.size());
@@ -360,18 +409,19 @@ std::vector<typename LogForest<K>::Point> LogForest<K>::knn(
 
 template <int K>
 parallel::BatchResult<typename LogForest<K>::Point> LogForest<K>::knn_batch(
-    const std::vector<Point>& qs, size_t k) const {
+    const std::vector<Point>& qs, size_t k, const QueryOptions& opts) const {
   // A finite query returns exactly min(k, live) neighbors, so the count
   // pass is nearly free: slice sizes are a function of k, the forest, and
   // the query's finiteness alone (a non-finite query yields an empty slice,
   // matching knn_candidates' guard).
   size_t per = std::min(k, live_);
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_two_phase<Point>(
       qs.size(),
       [&](size_t i) { return finite_point<K>(qs[i]) ? per : size_t{0}; },
       [&](size_t i, Point* out) {
         if (per == 0 || !finite_point<K>(qs[i])) return;
-        auto cand = knn_candidates(qs[i], k, nullptr);
+        auto cand = knn_candidates(qs[i], k, bs.at(i));
         asym::count_write(cand.size());
         for (const auto& [d2, p] : cand) *out++ = p;
       });
@@ -472,7 +522,14 @@ uint32_t DynamicKdTree<K>::rebuild_subtree_ids(std::vector<Point>& pts,
     asym::count_write(m);
     auto& nd = pool_[id];
     nd.leaf_pts.reserve(m);
-    for (size_t i = lo; i < hi; ++i) nd.leaf_pts.emplace_back(pts[i], true);
+    // Exact box of the just-written leaf contents (derived bookkeeping over
+    // data already charged above, uncounted).
+    Box bx = Box::empty();
+    for (size_t i = lo; i < hi; ++i) {
+      nd.leaf_pts.emplace_back(pts[i], true);
+      bx.extend(pts[i]);
+    }
+    nd.box = bx;
     return id;
   }
   int dim = depth % K;
@@ -494,6 +551,11 @@ uint32_t DynamicKdTree<K>::rebuild_subtree_ids(std::vector<Point>& pts,
       [&] { r = rebuild_subtree_ids(pts, mid, hi, depth + 1, rids); });
   pool_[id].left = l;
   pool_[id].right = r;
+  // Exact box: union of the freshly built children's (uncounted
+  // bookkeeping, like the slice boxes of the static builders).
+  Box bx = pool_[l].box;
+  bx.extend(pool_[r].box);
+  pool_[id].box = bx;
   return id;
 }
 
@@ -545,6 +607,7 @@ void DynamicKdTree<K>::insert(const Point& p) {
     root_ = alloc_node();
     pool_[root_].leaf_pts.emplace_back(p, true);
     pool_[root_].live = pool_[root_].total = 1;
+    pool_[root_].box.extend(p);
     asym::count_write();
     return;
   }
@@ -554,9 +617,10 @@ void DynamicKdTree<K>::insert(const Point& p) {
     path.push_back(cur);
     Node& nd = pool_[cur];
     asym::count_read();
-    asym::count_write();  // subtree weight update
+    asym::count_write();  // subtree weight update (box rides the same write)
     ++nd.live;
     ++nd.total;
+    nd.box.extend(p);
     if (nd.is_leaf()) break;
     cur = p[nd.dim] < nd.split ? nd.left : nd.right;
   }
@@ -590,7 +654,12 @@ void DynamicKdTree<K>::insert(const Point& p) {
                         pts.begin() + static_cast<long>(hi));
       c.total = static_cast<uint32_t>(hi - lo);
       c.live = 0;
-      for (size_t i = lo; i < hi; ++i) c.live += pts[i].second ? 1 : 0;
+      Box bx = Box::empty();
+      for (size_t i = lo; i < hi; ++i) {
+        c.live += pts[i].second ? 1 : 0;
+        bx.extend(pts[i].first);  // dead points included: conservative
+      }
+      c.box = bx;
     };
     fill(l, 0, mid);
     fill(r, mid, pts.size());
@@ -681,9 +750,10 @@ Status DynamicKdTree<K>::bulk_insert(const std::vector<Point>& pts) {
       Node& nd = pool_[cur];
       touched[cur] = 1;
       asym::count_read();
-      asym::count_write();  // subtree weight update
+      asym::count_write();  // subtree weight update (box rides the same write)
       ++nd.live;
       ++nd.total;
+      nd.box.extend(p);
       if (nd.is_leaf()) break;
       cur = p[nd.dim] < nd.split ? nd.left : nd.right;
     }
@@ -766,6 +836,11 @@ uint32_t DynamicKdTree<K>::restructure_rec(
     asym::count_write();
     nd.live = pool_[nl].live + pool_[nr].live;
     nd.total = pool_[nl].total + pool_[nr].total;
+    // Box refresh rides the same weight write: rebuilt children carry exact
+    // boxes, so the union tightens ancestors instead of growing forever.
+    Box bx = pool_[nl].box;
+    bx.extend(pool_[nr].box);
+    nd.box = bx;
   }
   return v;
 }
@@ -773,16 +848,26 @@ uint32_t DynamicKdTree<K>::restructure_rec(
 template <int K>
 template <typename V>
 void DynamicKdTree<K>::range_visit(const Box& query, V&& vis,
-                                   QueryStats* qs) const {
+                                   const QueryOptions& opts) const {
   if (root_ == kNullNode) return;
   auto rec = [&](auto&& self, uint32_t v) -> void {
     const Node& nd = pool_[v];
-    if (qs) ++qs->nodes_visited;
+    if (opts.stats) ++opts.stats->nodes_visited;
     asym::count_read();
+    if constexpr (requires { vis.covered(size_t{}); }) {
+      // The node box bounds every live point of the subtree, so full
+      // coverage answers the subtree with its live weight in O(1) —
+      // counting only (a reporting slice copy would resurrect dead points).
+      if (opts.count_fast_path && nd.box.inside(query)) {
+        if (opts.stats) ++opts.stats->covered_subtrees;
+        vis.covered(static_cast<size_t>(nd.live));
+        return;
+      }
+    }
     if (nd.is_leaf()) {
       for (const auto& [pt, alive] : nd.leaf_pts) {
         asym::count_read();
-        if (qs) ++qs->points_scanned;
+        if (opts.stats) ++opts.stats->points_scanned;
         if (alive && query.contains(pt)) vis(pt);
       }
       return;
@@ -793,17 +878,30 @@ void DynamicKdTree<K>::range_visit(const Box& query, V&& vis,
   rec(rec, root_);
 }
 
-template <int K>
-size_t DynamicKdTree<K>::range_count(const Box& query, QueryStats* qs) const {
+namespace {
+
+// Counting visitor for DynamicKdTree::range_visit: covered subtrees
+// contribute their live weight without a descent.
+template <typename Point>
+struct DynCountVisitor {
   size_t count = 0;
-  range_visit(
-      query, [&](const Point&) { ++count; }, qs);
-  return count;
+  void operator()(const Point&) { ++count; }
+  void covered(size_t live) { count += live; }
+};
+
+}  // namespace
+
+template <int K>
+size_t DynamicKdTree<K>::range_count(const Box& query,
+                                     const QueryOptions& opts) const {
+  DynCountVisitor<Point> vis;
+  range_visit(query, vis, opts);
+  return vis.count;
 }
 
 template <int K>
 std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::range_report(
-    const Box& query, QueryStats* qs) const {
+    const Box& query, const QueryOptions& opts) const {
   std::vector<Point> out;
   range_visit(
       query,
@@ -811,43 +909,51 @@ std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::range_report(
         asym::count_write();
         out.push_back(pt);
       },
-      qs);
+      opts);
   return out;
 }
 
 template <int K>
 std::vector<size_t> DynamicKdTree<K>::range_count_batch(
-    const std::vector<Box>& qs) const {
+    const std::vector<Box>& qs, const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_map<size_t>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+      qs.size(), [&](size_t i) { return range_count(qs[i], bs.at(i)); });
 }
 
 template <int K>
 parallel::BatchResult<typename DynamicKdTree<K>::Point>
-DynamicKdTree<K>::range_report_batch(const std::vector<Box>& qs) const {
+DynamicKdTree<K>::range_report_batch(const std::vector<Box>& qs,
+                                     const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
+  QueryOptions count_opts = opts;
+  count_opts.stats = nullptr;
   return parallel::batch_two_phase<Point>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      qs.size(), [&](size_t i) { return range_count(qs[i], count_opts); },
       [&](size_t i, Point* out) {
+        QueryOptions o = bs.at(i);
         range_visit(
             qs[i],
             [&](const Point& pt) {
               asym::count_write();
               *out++ = pt;
             },
-            nullptr);
+            o);
       });
 }
 
 template <int K>
 std::vector<std::optional<typename DynamicKdTree<K>::Point>>
-DynamicKdTree<K>::ann_batch(const std::vector<Point>& qs, double eps) const {
+DynamicKdTree<K>::ann_batch(const std::vector<Point>& qs, double eps,
+                            const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_map<std::optional<Point>>(
-      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
+      qs.size(), [&](size_t i) { return ann(qs[i], eps, bs.at(i)); });
 }
 
 template <int K>
 std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
-    const Point& q, double eps, QueryStats* qs) const {
+    const Point& q, double eps, const QueryOptions& opts) const {
   if (root_ == kNullNode || live_ == 0 || !finite_point<K>(q)) {
     return std::nullopt;
   }
@@ -862,12 +968,19 @@ std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
   auto rec = [&](auto&& self, uint32_t v, Box region) -> void {
     if (region.squared_distance(q) > best_sq * prune) return;
     const Node& nd = pool_[v];
-    if (qs) ++qs->nodes_visited;
+    if (opts.stats) ++opts.stats->nodes_visited;
     asym::count_read();
+    // Tight-box short-circuit: the node box lower-bounds every live-point
+    // distance in the subtree and is never looser than the split region.
+    if (opts.count_fast_path &&
+        nd.box.squared_distance(q) > best_sq * prune) {
+      if (opts.stats) ++opts.stats->covered_subtrees;
+      return;
+    }
     if (nd.is_leaf()) {
       for (const auto& [pt, alive] : nd.leaf_pts) {
         asym::count_read();
-        if (qs) ++qs->points_scanned;
+        if (opts.stats) ++opts.stats->points_scanned;
         if (!alive) continue;
         double d2 = geom::squared_distance(pt, q);
         // Canonical (distance, coordinates) order on ties, matching the
@@ -896,6 +1009,95 @@ std::optional<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::ann(
 }
 
 template <int K>
+std::vector<typename DynamicKdTree<K>::Point> DynamicKdTree<K>::knn(
+    const Point& q, size_t k, const QueryOptions& opts) const {
+  std::vector<Point> out;
+  if (k == 0 || live_ == 0 || root_ == kNullNode || !finite_point<K>(q)) {
+    return out;
+  }
+  // Max-heap of (distance^2, point) under the canonical (d2, coords) order,
+  // matching the static tree's KnnVisitor and the sharded top-k merge.
+  using Entry = std::pair<double, Point>;
+  auto canon = [](const Entry& a, const Entry& b) {
+    if (a.first != b.first) return a.first < b.first;
+    return a.second.coords < b.second.coords;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(canon)> heap(canon);
+  size_t want = std::min(k, live_);
+  auto bound = [&] {
+    return heap.size() < want ? std::numeric_limits<double>::infinity()
+                              : heap.top().first;
+  };
+  Box all;
+  for (int d = 0; d < K; ++d) {
+    all.lo[d] = -std::numeric_limits<double>::infinity();
+    all.hi[d] = std::numeric_limits<double>::infinity();
+  }
+  auto rec = [&](auto&& self, uint32_t v, Box region) -> void {
+    if (region.squared_distance(q) > bound()) return;
+    const Node& nd = pool_[v];
+    if (opts.stats) ++opts.stats->nodes_visited;
+    asym::count_read();
+    // Tight-box short-circuit (strict, so distance-tied candidates still
+    // reach the heap and the canonical order decides).
+    if (opts.count_fast_path && nd.box.squared_distance(q) > bound()) {
+      if (opts.stats) ++opts.stats->covered_subtrees;
+      return;
+    }
+    if (nd.is_leaf()) {
+      for (const auto& [pt, alive] : nd.leaf_pts) {
+        asym::count_read();
+        if (opts.stats) ++opts.stats->points_scanned;
+        if (!alive) continue;
+        Entry e{geom::squared_distance(pt, q), pt};
+        if (heap.size() < want) {
+          heap.push(e);
+        } else if (canon(e, heap.top())) {
+          heap.push(e);
+          heap.pop();
+        }
+      }
+      return;
+    }
+    Box lr = region, rr = region;
+    lr.hi[nd.dim] = nd.split;
+    rr.lo[nd.dim] = nd.split;
+    if (q[nd.dim] <= nd.split) {
+      self(self, nd.left, lr);
+      self(self, nd.right, rr);
+    } else {
+      self(self, nd.right, rr);
+      self(self, nd.left, lr);
+    }
+  };
+  rec(rec, root_, all);
+  out.resize(heap.size());
+  asym::count_write(out.size());
+  for (size_t i = out.size(); i-- > 0;) {
+    out[i] = heap.top().second;
+    heap.pop();
+  }
+  return out;
+}
+
+template <int K>
+parallel::BatchResult<typename DynamicKdTree<K>::Point>
+DynamicKdTree<K>::knn_batch(const std::vector<Point>& qs, size_t k,
+                            const QueryOptions& opts) const {
+  // A finite query returns exactly min(k, live) neighbors, so the count
+  // pass is nearly free (mirrors LogForest::knn_batch).
+  size_t per = std::min(k, live_);
+  detail::BatchStatsScope bs(qs.size(), opts);
+  return parallel::batch_two_phase<Point>(
+      qs.size(),
+      [&](size_t i) { return finite_point<K>(qs[i]) ? per : size_t{0}; },
+      [&](size_t i, Point* out) {
+        if (per == 0 || !finite_point<K>(qs[i])) return;
+        for (const Point& p : knn(qs[i], k, bs.at(i))) *out++ = p;
+      });
+}
+
+template <int K>
 size_t DynamicKdTree<K>::height() const {
   if (root_ == kNullNode) return 0;
   auto rec = [&](auto&& self, uint32_t v) -> size_t {
@@ -918,6 +1120,9 @@ bool DynamicKdTree<K>::validate() const {
       for (const auto& [pt, alive] : nd.leaf_pts) {
         if (!region.contains(pt)) ok = false;
         if (alive) {
+          // The covered fast path relies on the (conservative) node box
+          // containing every live point of the subtree.
+          if (!nd.box.contains(pt)) ok = false;
           ++live;
           ++live_seen;
         }
@@ -925,6 +1130,9 @@ bool DynamicKdTree<K>::validate() const {
       if (live != nd.live) ok = false;
       return live;
     }
+    if (!pool_[nd.left].box.inside(nd.box) ||
+        !pool_[nd.right].box.inside(nd.box))
+      ok = false;
     Box lr = region, rr = region;
     lr.hi[nd.dim] = nd.split;
     rr.lo[nd.dim] = nd.split;

@@ -32,6 +32,20 @@
 
 namespace weg::kdtree {
 
+namespace detail {
+
+// Forest-level covered hook: vis.covered(pts, b, e) consumes the slice
+// pts[b, e) of one fully-covered level subtree wholesale (only sound when
+// the level has no dead points). Visitors without it always take the
+// per-point path.
+template <typename V, typename Point>
+concept LevelCoveredVisitor =
+    requires(V v, const std::vector<Point>& pts, size_t b, size_t e) {
+      v.covered(pts, b, e);
+    };
+
+}  // namespace detail
+
 template <int K>
 class LogForest {
  public:
@@ -61,30 +75,53 @@ class LogForest {
   // points actually erased; a non-finite record is rejected pre-mutation.
   Expected<size_t> bulk_erase(const std::vector<Point>& pts);
 
-  size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
+  size_t range_count(const Box& query, const QueryOptions& opts = {}) const;
   std::vector<Point> range_report(const Box& query,
-                                  QueryStats* qs = nullptr) const;
+                                  const QueryOptions& opts = {}) const;
   // (1+eps)-ANN over the whole forest; returns the point itself. A
   // non-finite query yields nullopt (distances to NaN are unordered).
   std::optional<Point> ann(const Point& q, double eps = 0.0,
-                           QueryStats* qs = nullptr) const;
+                           const QueryOptions& opts = {}) const;
   // Exact k nearest neighbors over the live points of all levels, returned
   // as points sorted by (squared distance, coordinates) — the canonical
   // order the sharded layer's top-k merge assumes. Returns exactly
   // min(k, size()) points; k == 0 or a non-finite query yields none.
   std::vector<Point> knn(const Point& q, size_t k,
-                         QueryStats* qs = nullptr) const;
+                         const QueryOptions& opts = {}) const;
 
-  // Batched queries on the shared two-phase engine.
-  std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
+  // Deprecated QueryStats* shims (kept for one PR; migrate to
+  // QueryOptions{stats}).
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  size_t range_count(const Box& query, QueryStats* qs) const {
+    return range_count(query, QueryOptions{qs});
+  }
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  std::vector<Point> range_report(const Box& query, QueryStats* qs) const {
+    return range_report(query, QueryOptions{qs});
+  }
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  std::optional<Point> ann(const Point& q, double eps, QueryStats* qs) const {
+    return ann(q, eps, QueryOptions{qs});
+  }
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  std::vector<Point> knn(const Point& q, size_t k, QueryStats* qs) const {
+    return knn(q, k, QueryOptions{qs});
+  }
+
+  // Batched queries on the shared two-phase engine (the unified contract —
+  // see docs/ARCHITECTURE.md "Count augmentation & pruning").
+  std::vector<size_t> range_count_batch(const std::vector<Box>& qs,
+                                        const QueryOptions& opts = {}) const;
   parallel::BatchResult<Point> range_report_batch(
-      const std::vector<Box>& qs) const;
-  std::vector<std::optional<Point>> ann_batch(const std::vector<Point>& qs,
-                                              double eps = 0.0) const;
+      const std::vector<Box>& qs, const QueryOptions& opts = {}) const;
+  std::vector<std::optional<Point>> ann_batch(
+      const std::vector<Point>& qs, double eps = 0.0,
+      const QueryOptions& opts = {}) const;
   // Flat k-NN over all queries: query i's neighbors occupy slice i; every
   // query yields exactly min(k, size()) results, so the count pass is free.
   parallel::BatchResult<Point> knn_batch(const std::vector<Point>& qs,
-                                         size_t k) const;
+                                         size_t k,
+                                         const QueryOptions& opts = {}) const;
 
   size_t size() const { return live_; }
   size_t num_trees() const;
@@ -103,18 +140,36 @@ class LogForest {
   // The single templated range traversal: calls vis(pt) for every live point
   // inside `query`, level by level (each level delegates to the static
   // tree's range_visit and filters by liveness). range_count, range_report,
-  // and the batch variants all instantiate it.
+  // and the batch variants all instantiate it. A level without dead points
+  // keeps the static tree's covered-subtree fast path alive: when the
+  // visitor exposes the level hook (detail::LevelCoveredVisitor), covered
+  // slices are forwarded wholesale instead of per point. A level with dead
+  // points always takes the filtered per-point path (a slice copy would
+  // resurrect its dead points).
   template <typename V>
-  void range_visit(const Box& query, V&& vis, QueryStats* qs) const {
+  void range_visit(const Box& query, V&& vis, const QueryOptions& opts) const {
     for (const Level& L : levels_) {
       if (!L.used) continue;
       const auto& tree_pts = L.tree.points();
+      if constexpr (detail::LevelCoveredVisitor<std::remove_reference_t<V>,
+                                                Point>) {
+        if (L.dead == 0) {
+          struct Wrap {
+            const std::vector<Point>* pts;
+            std::remove_reference_t<V>* vis;
+            void operator()(size_t i) { (*vis)((*pts)[i]); }
+            void covered(size_t b, size_t e) { vis->covered(*pts, b, e); }
+          } w{&tree_pts, &vis};
+          L.tree.range_visit(query, w, opts);
+          continue;
+        }
+      }
       L.tree.range_visit(
           query,
           [&](size_t i) {
             if (L.dead == 0 || L.alive[i]) vis(tree_pts[i]);
           },
-          qs);
+          opts);
     }
   }
 
@@ -129,9 +184,8 @@ class LogForest {
   // coordinates) and truncated to min(k, size()) entries. knn and knn_batch
   // both instantiate the per-level gathering; output writes are charged by
   // the callers.
-  std::vector<std::pair<double, Point>> knn_candidates(const Point& q,
-                                                       size_t k,
-                                                       QueryStats* qs) const;
+  std::vector<std::pair<double, Point>> knn_candidates(
+      const Point& q, size_t k, const QueryOptions& opts) const;
 
   RebuildMode mode_;
   size_t leaf_size_;
@@ -169,19 +223,48 @@ class DynamicKdTree {
   // non-finite record is rejected pre-mutation.
   Expected<size_t> bulk_erase(const std::vector<Point>& pts);
 
-  size_t range_count(const Box& query, QueryStats* qs = nullptr) const;
+  size_t range_count(const Box& query, const QueryOptions& opts = {}) const;
   std::vector<Point> range_report(const Box& query,
-                                  QueryStats* qs = nullptr) const;
+                                  const QueryOptions& opts = {}) const;
   // A non-finite query yields nullopt (distances to NaN are unordered).
   std::optional<Point> ann(const Point& q, double eps = 0.0,
-                           QueryStats* qs = nullptr) const;
+                           const QueryOptions& opts = {}) const;
+  // Exact k nearest live neighbors, returned as points sorted by (squared
+  // distance, coordinates) — the canonical order the sharded layer's top-k
+  // merge assumes. Returns exactly min(k, size()) points; k == 0 or a
+  // non-finite query yields none.
+  std::vector<Point> knn(const Point& q, size_t k,
+                         const QueryOptions& opts = {}) const;
 
-  // Batched queries on the shared two-phase engine.
-  std::vector<size_t> range_count_batch(const std::vector<Box>& qs) const;
+  // Deprecated QueryStats* shims (kept for one PR; migrate to
+  // QueryOptions{stats}).
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  size_t range_count(const Box& query, QueryStats* qs) const {
+    return range_count(query, QueryOptions{qs});
+  }
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  std::vector<Point> range_report(const Box& query, QueryStats* qs) const {
+    return range_report(query, QueryOptions{qs});
+  }
+  [[deprecated("pass QueryOptions{stats} instead")]]
+  std::optional<Point> ann(const Point& q, double eps, QueryStats* qs) const {
+    return ann(q, eps, QueryOptions{qs});
+  }
+
+  // Batched queries on the shared two-phase engine (the unified contract —
+  // see docs/ARCHITECTURE.md "Count augmentation & pruning").
+  std::vector<size_t> range_count_batch(const std::vector<Box>& qs,
+                                        const QueryOptions& opts = {}) const;
   parallel::BatchResult<Point> range_report_batch(
-      const std::vector<Box>& qs) const;
-  std::vector<std::optional<Point>> ann_batch(const std::vector<Point>& qs,
-                                              double eps = 0.0) const;
+      const std::vector<Box>& qs, const QueryOptions& opts = {}) const;
+  std::vector<std::optional<Point>> ann_batch(
+      const std::vector<Point>& qs, double eps = 0.0,
+      const QueryOptions& opts = {}) const;
+  // Flat k-NN over all queries: query i's neighbors occupy slice i; every
+  // query yields exactly min(k, size()) results, so the count pass is free.
+  parallel::BatchResult<Point> knn_batch(const std::vector<Point>& qs,
+                                         size_t k,
+                                         const QueryOptions& opts = {}) const;
 
   size_t size() const { return live_; }
   // Every live point, in deterministic DFS order — the record extraction
@@ -201,6 +284,12 @@ class DynamicKdTree {
     uint32_t right = kNullNode;
     uint32_t live = 0;   // live points in subtree
     uint32_t total = 0;  // live + dead points in subtree
+    // Conservative bounding box of every point routed into this subtree
+    // (exact after a rebuild, extended on insertion paths, never shrunk by
+    // erasure — so it always contains all live points). Drives the covered
+    // count fast path (box ⊆ query ⇒ contribute `live` in O(1)) and the
+    // nn bound short-circuit.
+    Box box = Box::empty();
     std::vector<std::pair<Point, bool>> leaf_pts;  // (point, alive)
     bool is_leaf() const { return left == kNullNode; }
   };
@@ -210,9 +299,13 @@ class DynamicKdTree {
   void free_subtree(uint32_t v);
   // The single templated range traversal: calls vis(pt) for every live point
   // inside `query`, in deterministic DFS order. range_count, range_report,
-  // and the batch variants all instantiate it.
+  // and the batch variants all instantiate it. A visitor exposing
+  // `covered(size_t live)` gets the O(1) covered-subtree fast path: a node
+  // whose box is inside the query contributes its live weight without a
+  // descent (reporting keeps the per-point path — a slice copy would
+  // resurrect dead points).
   template <typename V>
-  void range_visit(const Box& query, V&& vis, QueryStats* qs) const;
+  void range_visit(const Box& query, V&& vis, const QueryOptions& opts) const;
   void collect_alive(uint32_t v, std::vector<Point>& out) const;
   // Reconstruction entry point: pre-claims the exact (size-determined) node
   // count through parallel::claim_build_slots, then recurses over id slices

@@ -74,6 +74,11 @@ uint32_t KdTree<K>::build_recursive(size_t lo, size_t hi, int depth,
     nodes_[id] = Node{};
     nodes_[id].begin = static_cast<uint32_t>(lo);
     nodes_[id].end = static_cast<uint32_t>(hi);
+    // Tight box of the just-written leaf contents: derived bookkeeping over
+    // data already charged above, uncounted like the other skeleton passes.
+    Box bx = Box::empty();
+    for (size_t i = lo; i < hi; ++i) bx.extend(points_[i]);
+    nodes_[id].box = bx;
     return id;
   }
   int dim = depth % K;
@@ -108,6 +113,14 @@ uint32_t KdTree<K>::build_recursive(size_t lo, size_t hi, int depth,
       });
   nodes_[id].left = l;
   nodes_[id].right = r;
+  // Count augmentation for free: the pre-claimed slice bounds are the
+  // subtree's point count, and the box is the union of the children's
+  // (bookkeeping over already-built children, uncounted).
+  nodes_[id].begin = static_cast<uint32_t>(lo);
+  nodes_[id].end = static_cast<uint32_t>(hi);
+  Box bx = nodes_[l].box;
+  bx.extend(nodes_[r].box);
+  nodes_[id].box = bx;
   return id;
 }
 
@@ -132,25 +145,67 @@ KdTree<K> KdTree<K>::build_classic(std::vector<Point> points,
   return t;
 }
 
-template <int K>
-size_t KdTree<K>::range_count(const Box& query, QueryStats* qs) const {
+namespace {
+
+// Range visitors with the covered-subtree hook. The counting visitor's
+// covered() adds the slice size with no further reads (the O(1) fast path);
+// the reporting visitors bulk-copy the slice — the per-point output charges
+// stay (every reported point is read and written once), but the per-point
+// containment tests and the subtree's node reads disappear.
+struct CountCoveredVisitor {
   size_t count = 0;
-  range_visit(
-      query, [&](size_t) { ++count; }, qs);
-  return count;
+  void operator()(size_t) { ++count; }
+  void covered(size_t b, size_t e) { count += e - b; }
+};
+
+template <typename Point>
+struct ReportAppendVisitor {
+  const std::vector<Point>* pts;
+  std::vector<Point>* out;
+  void operator()(size_t i) {
+    asym::count_write();  // output write
+    out->push_back((*pts)[i]);
+  }
+  void covered(size_t b, size_t e) {
+    asym::count_read(e - b);
+    asym::count_write(e - b);
+    out->insert(out->end(), pts->begin() + static_cast<long>(b),
+                pts->begin() + static_cast<long>(e));
+  }
+};
+
+template <typename Point>
+struct ReportIntoVisitor {
+  const std::vector<Point>* pts;
+  Point* out;
+  void operator()(size_t i) {
+    asym::count_write();
+    *out++ = (*pts)[i];
+  }
+  void covered(size_t b, size_t e) {
+    asym::count_read(e - b);
+    asym::count_write(e - b);
+    out = std::copy(pts->begin() + static_cast<long>(b),
+                    pts->begin() + static_cast<long>(e), out);
+  }
+};
+
+}  // namespace
+
+template <int K>
+size_t KdTree<K>::range_count(const Box& query,
+                              const QueryOptions& opts) const {
+  CountCoveredVisitor vis;
+  range_visit(query, vis, opts);
+  return vis.count;
 }
 
 template <int K>
 std::vector<typename KdTree<K>::Point> KdTree<K>::range_report(
-    const Box& query, QueryStats* qs) const {
+    const Box& query, const QueryOptions& opts) const {
   std::vector<Point> out;
-  range_visit(
-      query,
-      [&](size_t i) {
-        asym::count_write();  // output write
-        out.push_back(points_[i]);
-      },
-      qs);
+  ReportAppendVisitor<Point> vis{&points_, &out};
+  range_visit(query, vis, opts);
   return out;
 }
 
@@ -231,64 +286,75 @@ struct KnnVisitor {
 }  // namespace
 
 template <int K>
-size_t KdTree<K>::ann(const Point& q, double eps, QueryStats* qs) const {
+size_t KdTree<K>::ann(const Point& q, double eps,
+                      const QueryOptions& opts) const {
   AnnVisitor<Point> vis{1.0 / ((1.0 + eps) * (1.0 + eps)), &points_};
-  nn_visit(q, vis, qs);
+  nn_visit(q, vis, opts);
   return vis.best_idx;
 }
 
 template <int K>
 std::vector<size_t> KdTree<K>::knn(const Point& q, size_t k,
-                                   QueryStats* qs) const {
+                                   const QueryOptions& opts) const {
   if (k == 0) return {};
   KnnVisitor<Point> vis(k, points_);
-  nn_visit(q, vis, qs);
+  nn_visit(q, vis, opts);
   return vis.take_sorted();
 }
 
 template <int K>
 std::vector<size_t> KdTree<K>::range_count_batch(
-    const std::vector<Box>& qs) const {
+    const std::vector<Box>& qs, const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
   return parallel::batch_map<size_t>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); });
+      qs.size(), [&](size_t i) { return range_count(qs[i], bs.at(i)); });
 }
 
 template <int K>
 parallel::BatchResult<typename KdTree<K>::Point> KdTree<K>::range_report_batch(
-    const std::vector<Box>& qs) const {
+    const std::vector<Box>& qs, const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
+  // Stats from the count pass are not double-counted: only the report pass
+  // feeds the per-query slots.
+  QueryOptions count_opts = opts;
+  count_opts.stats = nullptr;
   return parallel::batch_two_phase<Point>(
-      qs.size(), [&](size_t i) { return range_count(qs[i]); },
+      qs.size(), [&](size_t i) { return range_count(qs[i], count_opts); },
       [&](size_t i, Point* out) {
-        range_visit(qs[i], [&](size_t p) {
-          asym::count_write();
-          *out++ = points_[p];
-        });
+        ReportIntoVisitor<Point> vis{&points_, out};
+        range_visit(qs[i], vis, bs.at(i));
       });
 }
 
 template <int K>
-parallel::BatchResult<size_t> KdTree<K>::knn_batch(const std::vector<Point>& qs,
-                                                   size_t k) const {
+parallel::BatchResult<typename KdTree<K>::Point> KdTree<K>::knn_batch(
+    const std::vector<Point>& qs, size_t k, const QueryOptions& opts) const {
   // Every query returns exactly min(k, n) neighbors, so the count pass costs
   // nothing: the slice sizes are a function of k and n alone.
   size_t per = std::min(k, points_.size());
-  return parallel::batch_two_phase<size_t>(
+  detail::BatchStatsScope bs(qs.size(), opts);
+  return parallel::batch_two_phase<Point>(
       qs.size(), [&](size_t) { return per; },
-      [&](size_t i, size_t* out) {
+      [&](size_t i, Point* out) {
         if (per == 0) return;
         KnnVisitor<Point> vis(k, points_);
-        nn_visit(qs[i], vis);
+        nn_visit(qs[i], vis, bs.at(i));
         auto nn = vis.take_sorted();
         asym::count_write(nn.size());
-        std::copy(nn.begin(), nn.end(), out);
+        for (size_t j : nn) *out++ = points_[j];
       });
 }
 
 template <int K>
-std::vector<size_t> KdTree<K>::ann_batch(const std::vector<Point>& qs,
-                                         double eps) const {
-  return parallel::batch_map<size_t>(
-      qs.size(), [&](size_t i) { return ann(qs[i], eps); });
+std::vector<std::optional<typename KdTree<K>::Point>> KdTree<K>::ann_batch(
+    const std::vector<Point>& qs, double eps, const QueryOptions& opts) const {
+  detail::BatchStatsScope bs(qs.size(), opts);
+  return parallel::batch_map<std::optional<Point>>(
+      qs.size(), [&](size_t i) -> std::optional<Point> {
+        size_t idx = ann(qs[i], eps, bs.at(i));
+        if (idx == SIZE_MAX) return std::nullopt;
+        return points_[idx];
+      });
 }
 
 template <int K>
@@ -357,6 +423,13 @@ bool KdTree<K>::validate() const {
     Frame f = stack.back();
     stack.pop_back();
     const Node& nd = nodes_[f.node];
+    // Count augmentation: every node's slice must bound its subtree and its
+    // box must contain every point of the slice (tightness is not required
+    // for correctness of the covered fast path, containment is).
+    if (nd.end < nd.begin || nd.end > points_.size()) return false;
+    for (uint32_t i = nd.begin; i < nd.end; ++i) {
+      if (!nd.box.contains(points_[i])) return false;
+    }
     if (nd.is_leaf()) {
       for (uint32_t i = nd.begin; i < nd.end; ++i) {
         ++total;
@@ -367,6 +440,14 @@ bool KdTree<K>::validate() const {
       }
       continue;
     }
+    // An interior slice is exactly the union of its children's (the two
+    // child slices are adjacent in DFS order).
+    const Node& l = nodes_[nd.left];
+    const Node& r = nodes_[nd.right];
+    if (nd.begin != std::min(l.begin, r.begin) ||
+        nd.end != std::max(l.end, r.end))
+      return false;
+    if (l.end != r.begin && r.end != l.begin) return false;
     Box lr = f.region, rr = f.region;
     lr.hi[nd.dim] = nd.split;
     rr.lo[nd.dim] = nd.split;

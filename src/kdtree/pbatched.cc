@@ -420,6 +420,28 @@ KdTree<K> PBatchedBuilder<K>::build(const std::vector<Point>& points, size_t p,
   }
   t.root_ = b.pool[b.root].is_leaf() ? leaf_root[b.root] : compact_id[b.root];
 
+  // Count augmentation: leaf-subtree roots already carry begin/end/box from
+  // build_recursive; fill the interior skeleton bottom-up (min/max of the
+  // children's slices is robust to child order, box is their union). Derived
+  // bookkeeping over already-charged nodes — uncounted like the other
+  // skeleton passes.
+  if (t.root_ != kNullNode) {
+    auto fill = [&](auto&& self, uint32_t v) -> void {
+      auto& nd = t.nodes_[v];
+      if (nd.is_leaf()) return;
+      self(self, nd.left);
+      self(self, nd.right);
+      const auto& l = t.nodes_[nd.left];
+      const auto& r = t.nodes_[nd.right];
+      nd.begin = std::min(l.begin, r.begin);
+      nd.end = std::max(l.end, r.end);
+      auto bx = l.box;
+      bx.extend(r.box);
+      nd.box = bx;
+    };
+    fill(fill, t.root_);
+  }
+
   if (stats) {
     stats->cost = region.delta();
     stats->height = t.height();

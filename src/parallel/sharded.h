@@ -78,6 +78,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <bit>
 #include <cmath>
@@ -133,10 +134,15 @@ inline uint64_t float_key_bits(double x) {
 // the ordered key range routing splits on, and coverage_hi(rec) how far a
 // record extends shard coverage along the partition axis (an interval
 // stored by left endpoint answers stabs up to its right endpoint).
-// extract(s) enumerates the live records for commit-time rebalancing.
-// Erasing a record must route like inserting it (routing is a pure
-// function of the record), which is all the layer needs for correctness;
-// the policy only affects balance and planner selectivity.
+// kCoverDims / cover_lo / cover_hi describe the record's extent in the
+// shard coverage box: dimension 0 is the partition axis ([partition_key,
+// coverage_hi]); point structures cover all K coordinate axes so the
+// planner's kNN/ANN pruning and the covered-shard count fast path can use
+// the full-dimensional box distance instead of the 1-D slab. extract(s)
+// enumerates the live records for commit-time rebalancing. Erasing a
+// record must route like inserting it (routing is a pure function of the
+// record), which is all the layer needs for correctness; the policy only
+// affects balance and planner selectivity.
 template <typename Structure>
 struct ShardTraits;
 
@@ -150,6 +156,9 @@ struct ShardTraits<augtree::DynamicIntervalTree> {
   }
   static double partition_key(const Record& iv) { return iv.l; }
   static double coverage_hi(const Record& iv) { return iv.r; }
+  static constexpr int kCoverDims = 1;
+  static double cover_lo(const Record& iv, int) { return iv.l; }
+  static double cover_hi(const Record& iv, int) { return iv.r; }
   static std::vector<Record> extract(const augtree::DynamicIntervalTree& t) {
     return t.live_records();
   }
@@ -171,6 +180,11 @@ struct PointRouteTraits {
   }
   static double partition_key(const Record& p) { return p[kSplitDim]; }
   static double coverage_hi(const Record& p) { return p[kSplitDim]; }
+  // Points cover all K axes: the planner prunes with the full-dimensional
+  // cover-box distance and answers fully-covered shards by count.
+  static constexpr int kCoverDims = K;
+  static double cover_lo(const Record& p, int d) { return p[d]; }
+  static double cover_hi(const Record& p, int d) { return p[d]; }
 };
 
 // Canonical slice orders for the merge.
@@ -473,15 +487,38 @@ class Sharded {
       });
     }
     constexpr int d0 = Traits::kSplitDim;
+    // Covered-shard fast path: a query box that fully covers a shard's
+    // cover box is answered by that shard's live-record count up front —
+    // the query is never routed there, so the shard's trees are not read at
+    // all. The remaining (partially overlapping) shards are planned as
+    // before. cover ⊇ live records, so the summed result is exact.
+    std::vector<size_t> covered_base(qs.size(), 0);
     Plan plan = plan_batch(qs.size(), [&](size_t i) {
-      return slab_mask(qs[i].lo[d0], qs[i].hi[d0]);
+      uint64_t m = slab_mask(qs[i].lo[d0], qs[i].hi[d0]);
+      uint64_t rest = 0;
+      for (size_t s = 0; s < shards_.size(); ++s) {
+        if (!((m >> s) & 1)) continue;
+        if (covers_shard(qs[i], s)) {
+          covered_base[i] += shards_[s].size();
+        } else {
+          rest |= uint64_t{1} << s;
+        }
+      }
+      return rest;
     });
+    // One write per query for its covered-shard base count (the coverage
+    // tests ride plan_batch's nq * S bulk read).
+    asym::count_write(qs.size());
     note_plan(plan, qs.size());
     auto per = run_planned(plan, qs,
                            [](const Structure& s, const std::vector<B>& sub) {
                              return s.range_count_batch(sub);
                            });
-    return merge_planned_count(plan, per, qs.size());
+    auto out = merge_planned_count(plan, per, qs.size());
+    asym::count_read(qs.size());
+    asym::count_write(qs.size());
+    for (size_t q = 0; q < qs.size(); ++q) out[q] += covered_base[q];
+    return out;
   }
 
   template <typename B>
@@ -565,10 +602,10 @@ class Sharded {
       return BatchResult<T>(std::move(items), std::move(offsets));
     }
 
-    constexpr int d0 = Traits::kSplitDim;
-    // Round 1: seed each query at its nearest shard slab (ties: lowest id).
+    // Round 1: seed each query at its nearest shard by cover-box distance
+    // (ties: lowest id).
     Plan p0 = plan_batch(nq, [&](size_t i) {
-      return nearest_shard_mask(qs[i][d0]);
+      return nearest_shard_mask(qs[i]);
     });
     note_plan(p0, nq);
     auto per0 = run_planned(p0, qs,
@@ -590,16 +627,18 @@ class Sharded {
     }
     asym::count_read(nq);
     asym::count_write(nq);
-    // Round 2: every other shard whose slab could still hold a candidate at
-    // or below the threshold (<=: a tied candidate can win the canonical
-    // order by coordinates).
+    // Round 2: every other shard whose cover box could still hold a
+    // candidate at or below the threshold (<=: a tied candidate can win the
+    // canonical order by coordinates). The bound-driven short-circuit: a
+    // shard whose box is farther than the running k-th candidate distance
+    // is never visited.
     Plan p1 = plan_batch(nq, [&](size_t i) {
-      uint64_t seed = nearest_shard_mask(qs[i][d0]);
+      uint64_t seed = nearest_shard_mask(qs[i]);
       uint64_t m = 0;
       for (size_t s = 0; s < shards_.size(); ++s) {
         if ((seed >> s) & 1) continue;
         if (!shard_live(s)) continue;
-        if (slab_d2(s, qs[i][d0]) <= thr[i]) m |= uint64_t{1} << s;
+        if (cover_d2(s, qs[i]) <= thr[i]) m |= uint64_t{1} << s;
       }
       return m;
     });
@@ -626,6 +665,18 @@ class Sharded {
     parallel_for(
         0, nq,
         [&](size_t q) {
+          // Single-shard pass-through: with exactly one visited shard, that
+          // shard's slice already is the merged answer in canonical order —
+          // copy it, skipping the distance recompute and the merge sort.
+          if (p0.entries[q].size() + p1.entries[q].size() == 1) {
+            const Plan& plan = p0.entries[q].empty() ? p1 : p0;
+            const std::vector<Result>& per =
+                p0.entries[q].empty() ? per1 : per0;
+            auto [s, j] = plan.entries[q][0];
+            std::copy(per[s].begin(j), per[s].end(j),
+                      items.data() + offsets[q]);
+            return;
+          }
           std::vector<std::pair<double, T>> cand;
           auto gather = [&](const Plan& plan, const std::vector<Result>& per) {
             for (auto [s, j] : plan.entries[q]) {
@@ -689,9 +740,8 @@ class Sharded {
       return out;
     }
 
-    constexpr int d0 = Traits::kSplitDim;
     Plan p0 = plan_batch(nq, [&](size_t i) {
-      return nearest_shard_mask(qs[i][d0]);
+      return nearest_shard_mask(qs[i]);
     });
     note_plan(p0, nq);
     auto per0 = run_planned(p0, qs,
@@ -709,12 +759,12 @@ class Sharded {
     asym::count_read(nq);
     asym::count_write(nq);
     Plan p1 = plan_batch(nq, [&](size_t i) {
-      uint64_t seed = nearest_shard_mask(qs[i][d0]);
+      uint64_t seed = nearest_shard_mask(qs[i]);
       uint64_t m = 0;
       for (size_t s = 0; s < shards_.size(); ++s) {
         if ((seed >> s) & 1) continue;
         if (!shard_live(s)) continue;
-        if (slab_d2(s, qs[i][d0]) <= thr[i]) m |= uint64_t{1} << s;
+        if (cover_d2(s, qs[i]) <= thr[i]) m |= uint64_t{1} << s;
       }
       return m;
     });
@@ -741,14 +791,19 @@ class Sharded {
   }
 
  private:
-  // Conservative per-shard data coverage along the partition axis.
+  // Conservative per-shard data coverage box (Traits::kCoverDims axes;
+  // dimension 0 is the partition axis). Extended on insert, never shrunk by
+  // erase, recomputed exactly on rebalance — so it always contains every
+  // live record's extent.
   struct Cover {
-    double lo = 0;
-    double hi = 0;
+    std::array<double, Traits::kCoverDims> lo;
+    std::array<double, Traits::kCoverDims> hi;
   };
   static Cover empty_cover() {
-    return {std::numeric_limits<double>::infinity(),
-            -std::numeric_limits<double>::infinity()};
+    Cover c;
+    c.lo.fill(std::numeric_limits<double>::infinity());
+    c.hi.fill(-std::numeric_limits<double>::infinity());
+    return c;
   }
 
   bool use_planner() const {
@@ -770,7 +825,7 @@ class Sharded {
   uint64_t stab_mask(double x) const {
     uint64_t m = 0;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      if (shard_live(s) && cover_[s].lo <= x && x <= cover_[s].hi) {
+      if (shard_live(s) && cover_[s].lo[0] <= x && x <= cover_[s].hi[0]) {
         m |= uint64_t{1} << s;
       }
     }
@@ -780,27 +835,48 @@ class Sharded {
   uint64_t slab_mask(double qlo, double qhi) const {
     uint64_t m = 0;
     for (size_t s = 0; s < shards_.size(); ++s) {
-      if (shard_live(s) && qlo <= cover_[s].hi && qhi >= cover_[s].lo) {
+      if (shard_live(s) && qlo <= cover_[s].hi[0] && qhi >= cover_[s].lo[0]) {
         m |= uint64_t{1} << s;
       }
     }
     return m;
   }
 
-  // Lower bound on the squared distance from x (along the partition axis)
-  // to any point of shard s.
-  double slab_d2(size_t s, double x) const {
+  // Lower bound on the squared distance from query point q to any live
+  // point of shard s: the full-dimensional cover-box distance (0 when q is
+  // inside the box). Strictly tighter than the old partition-axis slab
+  // distance, so kNN/ANN round-2 masks only shrink — and a pruned shard's
+  // every point is still provably farther than the threshold.
+  template <typename P>
+  double cover_d2(size_t s, const P& q) const {
     const Cover& c = cover_[s];
-    double diff = std::max({c.lo - x, 0.0, x - c.hi});
-    return diff * diff;
+    double d2 = 0;
+    for (int d = 0; d < Traits::kCoverDims; ++d) {
+      double diff = std::max({c.lo[d] - q[d], 0.0, q[d] - c.hi[d]});
+      d2 += diff * diff;
+    }
+    return d2;
   }
 
-  uint64_t nearest_shard_mask(double x) const {
+  // True when the query box fully covers shard s's cover box: every live
+  // record of the shard is then inside the query, so a count query is
+  // answered by the shard's size without routing to it.
+  template <typename B>
+  bool covers_shard(const B& query, size_t s) const {
+    const Cover& c = cover_[s];
+    for (int d = 0; d < Traits::kCoverDims; ++d) {
+      if (!(query.lo[d] <= c.lo[d] && c.hi[d] <= query.hi[d])) return false;
+    }
+    return true;
+  }
+
+  template <typename P>
+  uint64_t nearest_shard_mask(const P& q) const {
     size_t best = shards_.size();
     double best_d2 = std::numeric_limits<double>::infinity();
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (!shard_live(s)) continue;
-      double d2 = slab_d2(s, x);
+      double d2 = cover_d2(s, q);
       if (d2 < best_d2) {
         best_d2 = d2;
         best = s;
@@ -1040,10 +1116,14 @@ class Sharded {
     asym::count_write(splits_.size() + 1);
   }
 
+  static void extend_cover_with(Cover& c, const Record& r) {
+    for (int d = 0; d < Traits::kCoverDims; ++d) {
+      c.lo[d] = std::min(c.lo[d], Traits::cover_lo(r, d));
+      c.hi[d] = std::max(c.hi[d], Traits::cover_hi(r, d));
+    }
+  }
   void extend_cover(size_t s, const Record& r) {
-    Cover& c = cover_[s];
-    c.lo = std::min(c.lo, Traits::partition_key(r));
-    c.hi = std::max(c.hi, Traits::coverage_hi(r));
+    extend_cover_with(cover_[s], r);
   }
 
   static constexpr uint64_t kRebalanceSlack = 64;
@@ -1098,9 +1178,7 @@ class Sharded {
     for (size_t s = 0; s < S; ++s) {
       for (const Record& r : recs[s]) {
         size_t ns = shard_by_key_in(new_splits, Traits::partition_key(r));
-        Cover& c = new_cover[ns];
-        c.lo = std::min(c.lo, Traits::partition_key(r));
-        c.hi = std::max(c.hi, Traits::coverage_hi(r));
+        extend_cover_with(new_cover[ns], r);
         if (ns != s) {
           leave[s].push_back(r);
           enter[ns].push_back(r);

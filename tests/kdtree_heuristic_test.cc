@@ -114,8 +114,8 @@ TEST(SplitRules, SAHOnAnisotropicDataStaysCompetitive) {
     b.hi[0] = b.lo[0] + 0.3;
     b.lo[1] = double(rng.next_bounded(8)) * 0.125;
     b.hi[1] = b.lo[1] + 0.002;
-    size_t a = tc.range_count(b, &qc);
-    size_t bb = ts.range_count(b, &qs);
+    size_t a = tc.range_count(b, QueryOptions{&qc});
+    size_t bb = ts.range_count(b, QueryOptions{&qs});
     ASSERT_EQ(a, bb);
   }
   // Within a constant factor of the cycling-median tree either way.

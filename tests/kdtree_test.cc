@@ -224,7 +224,7 @@ TEST(KdTree, QueryStatsPopulated) {
   geom::Box2 b;
   b.lo[0] = b.lo[1] = 0.4;
   b.hi[0] = b.hi[1] = 0.6;
-  t.range_count(b, &qs);
+  t.range_count(b, QueryOptions{&qs});
   EXPECT_GT(qs.nodes_visited, 0u);
   EXPECT_GT(qs.points_scanned, 0u);
 }
@@ -240,7 +240,7 @@ TEST(KdTree, RangeQueryCostSublinear) {
   thin.hi[0] = 0.5005;
   thin.lo[1] = -1;
   thin.hi[1] = 2;
-  t.range_count(thin, &qs);
+  t.range_count(thin, QueryOptions{&qs});
   EXPECT_LT(qs.nodes_visited, 60 * size_t(std::sqrt(double(n))));
 }
 

@@ -262,6 +262,70 @@ TEST(PlannerEquality, SelectiveQueriesVisitFewerThanFanoutShards) {
   }
 }
 
+TEST(PlannerEquality, SingleShardKnnPassThroughVisitsOneShard) {
+  // Four tight clusters, well separated along the routing dimension: each
+  // cluster lands in its own range shard, a probe at a cluster center finds
+  // all k neighbors inside that shard, and every other shard's cover box is
+  // farther than the k-th candidate. The bound-driven planner must never
+  // schedule a second round (shards_visited_per_query == 1) and the merge
+  // takes the single-shard pass-through, still bitwise-equal to the
+  // unsharded forest in the canonical (d2, coords) order.
+  primitives::Rng rng(0xC1A5);
+  std::vector<geom::Point2> pts;
+  std::vector<geom::Point2> probes;
+  for (int c = 0; c < 4; ++c) {
+    double cx = 0.125 + 0.25 * c;
+    for (int i = 0; i < 500; ++i) {
+      geom::Point2 p;
+      p[0] = cx + (rng.next_double() - 0.5) * 0.02;
+      p[1] = 0.5 + (rng.next_double() - 0.5) * 0.02;
+      pts.push_back(p);
+    }
+    probes.push_back(geom::Point2{{cx, 0.5}});
+  }
+  Sharded<LogForest<2>> sf(Routing::kRange, 4);
+  ASSERT_TRUE(sf.bulk_insert(pts).ok());
+  LogForest<2> oracle;
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
+
+  auto k = sf.knn_batch(probes, 8);
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(sf.planner_queries(), probes.size());
+  EXPECT_EQ(sf.planner_shard_visits(), probes.size());  // exactly 1 per query
+  auto ok = oracle.knn_batch(probes, 8);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(k.result(i), ok.result(i));
+  }
+}
+
+TEST(PlannerEquality, FullyCoveredShardsAnswerCountsWithoutRouting) {
+  // A range_count query box that contains a shard's whole cover box is
+  // answered from the shard's size — the planner routes nothing to it. An
+  // all-covering box therefore visits zero shards, and the counts still
+  // match the unsharded oracle exactly.
+  auto pts = testing::random_points<2>(20000, 0xC0E);
+  Sharded<LogForest<2>> sf(Routing::kRange, 4);
+  ASSERT_TRUE(sf.bulk_insert(pts).ok());
+  LogForest<2> oracle;
+  ASSERT_TRUE(oracle.bulk_insert(pts).ok());
+
+  geom::Box2 all;
+  all.lo[0] = all.lo[1] = -1.0;
+  all.hi[0] = all.hi[1] = 2.0;
+  geom::Box2 half;  // covers the low shards' covers, clips the rest
+  half.lo[0] = half.lo[1] = -1.0;
+  half.hi[0] = 0.5;
+  half.hi[1] = 2.0;
+  std::vector<geom::Box2> boxes = {all, half};
+  auto rc = sf.range_count_batch(boxes);
+  EXPECT_EQ(rc[0], pts.size());
+  EXPECT_EQ(rc[1], oracle.range_count(half));
+  EXPECT_EQ(sf.planner_queries(), boxes.size());
+  // The all-covering box visits no shard; the half box visits only the
+  // shards it clips, so total visits stay under one fanout's worth.
+  EXPECT_LT(sf.planner_shard_visits(), 4u);
+}
+
 TEST(PlannerEquality, CommitRebalancesSkewedShards) {
   // Seed the partition from a uniform prefix, then commit a heavily skewed
   // batch: one shard ends up with most of the records, the rebalancer must
@@ -456,11 +520,11 @@ TEST(PlannerEquality, PlannedBatchGoldenCounts) {
     auto c = region.delta();
     EXPECT_GT(r.total(), 0u);
     EXPECT_EQ(k.total(), nnq.size() * 8);
-    // Recaptured for the sampling semisort (classic path at these batch
-    // sizes): +224 reads = the grouping sweeps of the three planned batches
-    // (96 + 64 + 64), +53 writes = the local sort of the one hash bucket
-    // that mixed two shard masks.
-    EXPECT_EQ(c.reads, 113911u);
+    // Recaptured for the count-augmented traversal: covered-subtree slice
+    // reporting plus the full-dimension cover-box knn pruning inside each
+    // shard drop reads from the pre-augmentation 113911 (writes unchanged —
+    // the same result slices are written once).
+    EXPECT_EQ(c.reads, 95685u);
     EXPECT_EQ(c.writes, 53007u);
   }
 }

@@ -175,10 +175,108 @@ TEST(QueryBatchEquality, KdTreeRangeAndNeighborBatch) {
   auto ba = tree.ann_batch(nnq, 0.0);
   ASSERT_EQ(bk.total(), nnq.size() * k);
   for (size_t i = 0; i < nnq.size(); ++i) {
-    EXPECT_EQ(bk.result(i), tree.knn(nnq[i], k));
-    EXPECT_EQ(ba[i], tree.ann(nnq[i], 0.0));
-    EXPECT_EQ(bk.result(i).front(), ba[i]);  // 1-NN is the exact ANN
+    // Serial knn/ann return indices into points(); the unified batch API
+    // returns the neighbor points themselves.
+    auto ids = tree.knn(nnq[i], k);
+    std::vector<geom::Point2> want(ids.size());
+    for (size_t j = 0; j < ids.size(); ++j) want[j] = tree.points()[ids[j]];
+    EXPECT_EQ(bk.result(i), want);
+    ASSERT_TRUE(ba[i].has_value());
+    EXPECT_EQ(*ba[i], tree.points()[tree.ann(nnq[i], 0.0)]);
+    EXPECT_EQ(bk.result(i).front(), *ba[i]);  // 1-NN is the exact ANN
   }
+}
+
+TEST(QueryBatchEquality, CoveredSubtreeFastPathMatchesLeafScan) {
+  // The count-augmented traversal answers fully-covered subtrees from the
+  // pre-claimed slice bounds. Every covered-box shape — all-covering,
+  // half-space (whole subtrees on one side of the root split), zero-area
+  // through an existing point, zero-area in empty space — must return
+  // bitwise-identical results with the fast path on, with the kill switch
+  // off, and against a leaf-scan oracle; the all-covering count must do it
+  // with strictly fewer reads.
+  auto pts = testing::random_points<2>(kN, 0xC0FE);
+  auto tree = kdtree::KdTree2::build_classic(pts, 8);
+
+  geom::Box2 all;
+  all.lo[0] = all.lo[1] = -1.0;
+  all.hi[0] = all.hi[1] = 2.0;
+  geom::Box2 half;
+  half.lo[0] = half.lo[1] = -1.0;
+  half.hi[0] = 0.5;
+  half.hi[1] = 2.0;
+  geom::Box2 pbox;  // zero-area: lo == hi on an existing point
+  pbox.lo = pbox.hi = pts[7];
+  geom::Box2 nowhere;  // zero-area box in empty space
+  nowhere.lo[0] = nowhere.hi[0] = -0.25;
+  nowhere.lo[1] = nowhere.hi[1] = -0.25;
+  std::vector<geom::Box2> boxes = {all, half, pbox, nowhere};
+
+  auto leaf_count = [&](const geom::Box2& b) {
+    size_t c = 0;
+    for (const auto& p : pts) c += b.contains(p) ? 1 : 0;
+    return c;
+  };
+
+  kdtree::QueryOptions off;
+  off.count_fast_path = false;
+  auto bc = tree.range_count_batch(boxes);
+  auto br = tree.range_report_batch(boxes);
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    EXPECT_EQ(bc[i], leaf_count(boxes[i]));
+    EXPECT_EQ(bc[i], tree.range_count(boxes[i], off));
+    EXPECT_EQ(br.result(i), tree.range_report(boxes[i], off));  // same order
+  }
+  EXPECT_EQ(bc[0], pts.size());
+  EXPECT_GE(bc[2], 1u);
+  EXPECT_EQ(bc[3], 0u);
+
+  kdtree::QueryStats qs_on, qs_off;
+  asym::Counts on_c, off_c;
+  {
+    asym::Region region;
+    tree.range_count(all, kdtree::QueryOptions{&qs_on});
+    on_c = region.delta();
+  }
+  {
+    asym::Region region;
+    kdtree::QueryOptions o{&qs_off};
+    o.count_fast_path = false;
+    tree.range_count(all, o);
+    off_c = region.delta();
+  }
+  EXPECT_EQ(qs_on.covered_subtrees, 1u);  // the root shortcut
+  EXPECT_EQ(qs_off.covered_subtrees, 0u);
+  EXPECT_LT(on_c.reads, off_c.reads);
+  EXPECT_LT(qs_on.nodes_visited, qs_off.nodes_visited);
+}
+
+TEST(QueryBatchEquality, DynamicCoveredCountsRespectLiveWeights) {
+  // Covered counts in the dynamic structures come from live-subtree
+  // weights: erased points must not resurrect through the fast path, and
+  // the kill switch must agree bitwise.
+  auto pts = testing::random_points<2>(20000, 0xD1CE);
+  kdtree::DynamicKdTree<2> single;
+  for (const auto& p : pts) single.insert(p);
+  kdtree::LogForest<2> forest;
+  ASSERT_TRUE(forest.bulk_insert(pts).ok());
+  for (size_t i = 0; i < pts.size() / 4; ++i) {
+    ASSERT_TRUE(single.erase(pts[i]));
+    ASSERT_TRUE(forest.erase(pts[i]));
+  }
+  const size_t live = pts.size() - pts.size() / 4;
+
+  geom::Box2 all;
+  all.lo[0] = all.lo[1] = -1.0;
+  all.hi[0] = all.hi[1] = 2.0;
+  kdtree::QueryOptions off;
+  off.count_fast_path = false;
+  EXPECT_EQ(single.range_count(all), live);
+  EXPECT_EQ(forest.range_count(all), live);
+  EXPECT_EQ(single.range_count(all, off), live);
+  EXPECT_EQ(forest.range_count(all, off), live);
+  EXPECT_EQ(single.range_report(all).size(), live);
+  EXPECT_EQ(forest.range_report(all).size(), live);
 }
 
 TEST(QueryBatchEquality, DynamicKdStructuresRangeBatch) {
@@ -275,7 +373,10 @@ TEST(QueryBatchEquality, BatchCountsMatchSerialGolden) {
     auto r = ktree.knn_batch(nnq, 8);
     auto c = region.delta();
     EXPECT_EQ(r.total(), 128u * 8u);
-    EXPECT_EQ(c.reads, 7319u);
+    // Recaptured for the count-augmented traversal: the per-node bounding
+    // box short-circuit skips subtrees farther than the running k-th
+    // candidate, dropping reads from the pre-augmentation 7319.
+    EXPECT_EQ(c.reads, 6599u);
     EXPECT_EQ(c.writes, 1281u);
   }
 }
